@@ -1,0 +1,135 @@
+// Shared harness for the per-figure benchmark binaries.
+//
+// Every binary reproduces one table/figure of the paper's evaluation
+// (Section 7): it builds the workload at a CPU-feasible scale (scales are
+// printed and recorded in EXPERIMENTS.md), runs each strategy, and prints the
+// same normalized rows the figure plots. Absolute numbers differ from the
+// paper's GPUs; the *shape* (who wins, by what factor) is the reproduction
+// target.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "baselines/strategy.h"
+#include "engine/device.h"
+#include "graph/datasets.h"
+#include "graph/knn.h"
+#include "models/models.h"
+#include "models/trainer.h"
+#include "support/counters.h"
+#include "support/rng.h"
+#include "support/timer.h"
+
+namespace triad::bench {
+
+struct Options {
+  double scale = 1.0;        ///< graph scale for citation datasets
+  double reddit_scale = 0.01;///< Reddit is huge; default heavily scaled
+  double feat_scale = 0.25;  ///< input feature width scale (latency knob)
+  int steps = 2;             ///< measured steps (after 1 warmup)
+  int points = 256;          ///< EdgeConv points per cloud (paper: 1024)
+  unsigned seed = 42;
+
+  static Options parse(int argc, char** argv) {
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+      auto val = [&](const char* flag) -> const char* {
+        const std::size_t len = std::strlen(flag);
+        if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
+          return argv[i] + len + 1;
+        }
+        return nullptr;
+      };
+      if (const char* v = val("--scale")) o.scale = std::atof(v);
+      if (const char* v = val("--reddit-scale")) o.reddit_scale = std::atof(v);
+      if (const char* v = val("--feat-scale")) o.feat_scale = std::atof(v);
+      if (const char* v = val("--steps")) o.steps = std::atoi(v);
+      if (const char* v = val("--points")) o.points = std::atoi(v);
+      if (const char* v = val("--seed")) o.seed = static_cast<unsigned>(std::atoi(v));
+      if (std::strcmp(argv[i], "--full") == 0) {
+        o.scale = 1.0;
+        o.reddit_scale = 1.0;
+        o.feat_scale = 1.0;
+        o.points = 1024;
+      }
+    }
+    return o;
+  }
+
+  double scale_for(const std::string& dataset) const {
+    return dataset == "reddit" ? reddit_scale : scale;
+  }
+};
+
+struct Measurement {
+  double seconds = 0;          ///< measured CPU wall time per step
+  std::uint64_t io_bytes = 0;  ///< modeled DRAM traffic per step
+  std::size_t peak_bytes = 0;  ///< peak pool memory
+  PerfCounters counters;       ///< full counter delta per step
+};
+
+/// Runs `steps` training (or forward-only) steps and averages.
+inline Measurement measure_training(Compiled compiled, const Graph& g,
+                                    const Tensor& features, const Tensor& pseudo,
+                                    const IntTensor& labels, int steps,
+                                    bool training, MemoryPool* pool) {
+  const bool has_pseudo = compiled.pseudo >= 0;
+  Trainer trainer(std::move(compiled), g,
+                  features.clone(MemTag::kInput, pool),
+                  has_pseudo ? pseudo.clone(MemTag::kInput, pool) : Tensor{},
+                  pool);
+  // Warmup step (allocator, caches).
+  if (training) {
+    trainer.train_step(labels, 1e-3f);
+  } else {
+    trainer.forward(labels);
+  }
+  Measurement m;
+  for (int i = 0; i < steps; ++i) {
+    const StepMetrics sm =
+        training ? trainer.train_step(labels, 1e-3f) : trainer.forward(labels);
+    m.seconds += sm.seconds;
+    m.io_bytes += sm.counters.io_bytes();
+    m.counters += sm.counters;
+    m.peak_bytes = std::max(m.peak_bytes, sm.peak_bytes);
+  }
+  m.seconds /= steps;
+  m.io_bytes /= static_cast<std::uint64_t>(steps);
+  return m;
+}
+
+inline void print_header(const char* title, const char* note) {
+  std::printf("\n=== %s ===\n", title);
+  if (note != nullptr && *note != '\0') std::printf("%s\n", note);
+  std::printf("%-22s %-14s %12s %12s %12s %10s %8s %8s\n", "workload",
+              "strategy", "latency(ms)", "IO", "memory", "kernels", "speedup",
+              "vs-mem");
+}
+
+/// Prints one row, normalized against `base` (speedup = base/this for
+/// latency, vs-mem = base/this for memory — higher is better for "Ours").
+inline void print_row(const std::string& workload, const std::string& strategy,
+                      const Measurement& m, const Measurement& base) {
+  const double speedup = m.seconds > 0 ? base.seconds / m.seconds : 0.0;
+  const double mem_ratio =
+      m.peak_bytes > 0 ? static_cast<double>(base.peak_bytes) /
+                             static_cast<double>(m.peak_bytes)
+                       : 0.0;
+  std::printf("%-22s %-14s %12.2f %12s %12s %10llu %7.2fx %7.2fx\n",
+              workload.c_str(), strategy.c_str(), m.seconds * 1e3,
+              human_bytes(m.io_bytes).c_str(), human_bytes(m.peak_bytes).c_str(),
+              static_cast<unsigned long long>(m.counters.kernel_launches),
+              speedup, mem_ratio);
+}
+
+inline void print_footnote(const Options& o) {
+  std::printf(
+      "(scales: citation=%.3g reddit=%.3g feat=%.3g; steps=%d; normalized "
+      "columns are relative to the first row of each workload)\n",
+      o.scale, o.reddit_scale, o.feat_scale, o.steps);
+}
+
+}  // namespace triad::bench

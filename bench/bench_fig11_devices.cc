@@ -1,0 +1,197 @@
+// Figure 11: running large GNN training on a small-memory GPU.
+//
+// The paper shows its optimizations let an 8 GB RTX 2080 run workloads that
+// otherwise need a 24 GB RTX 3090, at comparable (even better) latency.
+// Reproduction scheme: latency is projected through the DeviceProfile
+// roofline over the engine's counters; the capacity check is enforced for
+// real by a capacity-capped MemoryPool. Because the CPU run is graph-scaled,
+// capacities are normalized per workload against the measured DGL peak with
+// the paper's headroom: DGL's Reddit GAT run occupies 13.7 of the 3090's
+// 24 GB, so cap(3090) = measured_DGL_peak * 24/13.7 and cap(2080) = 8/24 of
+// that — the fits/OOM boundary is then scale-invariant.
+#include <functional>
+
+#include "bench_common.h"
+
+using namespace triad;
+using namespace triad::bench;
+
+namespace {
+
+constexpr double kPaperDglOccupancy = 13.7 / 24.0;  // DGL GAT-Reddit on 3090
+
+struct DeviceRun {
+  bool fits = false;
+  double modeled_ms = 0;
+  std::size_t peak = 0;
+};
+
+DeviceRun run_capped(const std::function<Compiled()>& make, const Graph& g,
+                     const Tensor& features, const Tensor& pseudo,
+                     const IntTensor& labels, const DeviceProfile& dev,
+                     std::size_t capacity, int steps) {
+  MemoryPool pool;
+  pool.set_capacity(capacity);
+  DeviceRun r;
+  try {
+    Compiled c = make();
+    const bool has_pseudo = c.pseudo >= 0;
+    Trainer trainer(std::move(c), g, features.clone(MemTag::kInput, &pool),
+                    has_pseudo ? pseudo.clone(MemTag::kInput, &pool) : Tensor{},
+                    &pool);
+    trainer.train_step(labels, 1e-3f);  // warmup
+    PerfCounters total;
+    for (int i = 0; i < steps; ++i) {
+      total += trainer.train_step(labels, 1e-3f).counters;
+    }
+    r.fits = true;
+    r.modeled_ms = dev.modeled_seconds(total) / steps * 1e3;
+    r.peak = pool.peak_bytes();
+  } catch (const OutOfMemory&) {
+    r.fits = false;
+    r.peak = pool.capacity();
+  }
+  return r;
+}
+
+/// Uncapped run measuring the DGL-like peak (the normalization reference).
+std::size_t measure_peak(const std::function<Compiled()>& make, const Graph& g,
+                         const Tensor& features, const Tensor& pseudo,
+                         const IntTensor& labels) {
+  MemoryPool pool;
+  Compiled c = make();
+  const bool has_pseudo = c.pseudo >= 0;
+  Trainer trainer(std::move(c), g, features.clone(MemTag::kInput, &pool),
+                  has_pseudo ? pseudo.clone(MemTag::kInput, &pool) : Tensor{},
+                  &pool);
+  trainer.train_step(labels, 1e-3f);
+  return pool.peak_bytes();
+}
+
+void print_device_row(const std::string& workload, const std::string& config,
+                      const DeviceRun& r) {
+  if (r.fits) {
+    std::printf("%-22s %-22s %12.2f %12s   fits\n", workload.c_str(),
+                config.c_str(), r.modeled_ms, human_bytes(r.peak).c_str());
+  } else {
+    std::printf("%-22s %-22s %12s %12s   OOM (cap %s)\n", workload.c_str(),
+                config.c_str(), "-", "-", human_bytes(r.peak).c_str());
+  }
+}
+
+struct Workload {
+  std::string name;
+  const Graph* graph;
+  const Tensor* features;
+  const Tensor* pseudo;
+  const IntTensor* labels;
+  std::function<Compiled()> make_dgl;
+  std::function<Compiled()> make_ours;
+};
+
+void run_workload(const Workload& w, int steps) {
+  const std::size_t dgl_peak =
+      measure_peak(w.make_dgl, *w.graph, *w.features,
+                   w.pseudo != nullptr ? *w.pseudo : Tensor{}, *w.labels);
+  const auto cap3090 = static_cast<std::size_t>(
+      static_cast<double>(dgl_peak) / kPaperDglOccupancy);
+  const std::size_t cap2080 = cap3090 * 8 / 24;
+  const Tensor& pseudo = w.pseudo != nullptr ? *w.pseudo : Tensor{};
+
+  print_device_row(w.name, "DGL @ RTX3090",
+                   run_capped(w.make_dgl, *w.graph, *w.features, pseudo,
+                              *w.labels, rtx3090(), cap3090, steps));
+  print_device_row(w.name, "DGL @ RTX2080",
+                   run_capped(w.make_dgl, *w.graph, *w.features, pseudo,
+                              *w.labels, rtx2080(), cap2080, steps));
+  print_device_row(w.name, "Ours @ RTX3090",
+                   run_capped(w.make_ours, *w.graph, *w.features, pseudo,
+                              *w.labels, rtx3090(), cap3090, steps));
+  print_device_row(w.name, "Ours @ RTX2080",
+                   run_capped(w.make_ours, *w.graph, *w.features, pseudo,
+                              *w.labels, rtx2080(), cap2080, steps));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt = Options::parse(argc, argv);
+  std::printf("\n=== Figure 11 — small-GPU execution (modeled latency, real "
+              "capacity check) ===\n");
+  std::printf("%-22s %-22s %12s %12s\n", "workload", "config", "latency(ms)",
+              "memory");
+
+  const DeviceProfile gpu3090 = rtx3090();
+  (void)gpu3090;
+
+  {  // GAT h=4 f=64, 2 layers, on reddit.
+    Rng rng(opt.seed);
+    Dataset data = make_dataset("reddit", rng, opt.reddit_scale, opt.feat_scale);
+    auto make = [&](const Strategy& s) {
+      return std::function<Compiled()>([&, s] {
+        Rng mrng(opt.seed + 1);
+        GatConfig cfg;
+        cfg.in_dim = data.features.cols();
+        cfg.hidden = 64;
+        cfg.heads = 4;
+        cfg.layers = 2;
+        cfg.num_classes = data.num_classes;
+        cfg.prereorganized = s.prereorganized_gat;
+        cfg.builtin_softmax = s.builtin_softmax;
+        return compile_model(build_gat(cfg, mrng), s, true);
+      });
+    };
+    Workload w{"GAT/reddit", &data.graph, &data.features, nullptr, &data.labels,
+               make(dgl_like()), make(ours())};
+    run_workload(w, opt.steps);
+  }
+
+  {  // EdgeConv k=40 batch=16 (scaled from the paper's 64).
+    Rng rng(opt.seed);
+    PointCloudBatch pc = make_point_cloud_batch(opt.points, 16, 40, 40, rng);
+    IntTensor labels(pc.graph.num_vertices(), 1);
+    for (std::int64_t v = 0; v < pc.graph.num_vertices(); ++v) {
+      labels.at(v, 0) = pc.labels.at(v / opt.points, 0);
+    }
+    auto make = [&](const Strategy& s) {
+      return std::function<Compiled()>([&, s] {
+        Rng mrng(opt.seed + 1);
+        EdgeConvConfig cfg;
+        cfg.in_dim = 3;
+        cfg.hidden = {64, 64, 128, 256};
+        cfg.num_classes = 40;
+        return compile_model(build_edgeconv(cfg, mrng), s, true);
+      });
+    };
+    Workload w{"EdgeConv/k40", &pc.graph, &pc.coords, nullptr, &labels,
+               make(dgl_like()), make(ours())};
+    run_workload(w, opt.steps);
+  }
+
+  {  // MoNet k=2 r=1 on reddit.
+    Rng rng(opt.seed);
+    Dataset data = make_dataset("reddit", rng, opt.reddit_scale, opt.feat_scale);
+    Tensor pseudo = make_pseudo_coords(data.graph, 1);
+    auto make = [&](const Strategy& s) {
+      return std::function<Compiled()>([&, s] {
+        Rng mrng(opt.seed + 1);
+        MoNetConfig cfg;
+        cfg.in_dim = data.features.cols();
+        cfg.hidden = 16;
+        cfg.layers = 2;
+        cfg.kernels = 2;
+        cfg.pseudo_dim = 1;
+        cfg.num_classes = data.num_classes;
+        return compile_model(build_monet(cfg, mrng), s, true);
+      });
+    };
+    Workload w{"MoNet/reddit", &data.graph, &data.features, &pseudo,
+               &data.labels, make(dgl_like()), make(ours())};
+    run_workload(w, opt.steps);
+  }
+
+  std::printf(
+      "(capacities normalized per workload: cap(3090) = DGL peak × 24/13.7, "
+      "cap(2080) = cap(3090) × 8/24 — the paper's occupancy ratios)\n");
+  return 0;
+}

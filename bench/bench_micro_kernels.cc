@@ -1,0 +1,164 @@
+// Micro-benchmarks (google-benchmark): kernel-level costs behind the figures —
+// both thread mappings for gather (Figure 5's trade-off), fused vs unfused
+// scatter-apply-gather chains, edge-softmax, SGEMM.
+#include <benchmark/benchmark.h>
+
+#include "engine/kernels.h"
+#include "engine/vm.h"
+#include "graph/generators.h"
+#include "ir/graph.h"
+#include "support/rng.h"
+#include "tensor/ops.h"
+
+namespace triad {
+namespace {
+
+Graph& bench_graph() {
+  static Graph g = [] {
+    Rng rng(7);
+    return gen::erdos_renyi(4096, 65536, rng);
+  }();
+  return g;
+}
+
+Graph& skewed_graph() {
+  static Graph g = [] {
+    Rng rng(9);
+    return gen::rmat(12, 65536, rng);
+  }();
+  return g;
+}
+
+void BM_GatherVertexBalanced(benchmark::State& state) {
+  Graph& g = bench_graph();
+  const std::int64_t f = state.range(0);
+  Rng rng(1);
+  Tensor e = Tensor::randn(g.num_edges(), f, rng);
+  Tensor out(g.num_vertices(), f);
+  for (auto _ : state) {
+    kernels::gather(g, ReduceFn::Sum, false, e, out, nullptr);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges() * f);
+}
+BENCHMARK(BM_GatherVertexBalanced)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_GatherEdgeBalancedAtomic(benchmark::State& state) {
+  Graph& g = bench_graph();
+  const std::int64_t f = state.range(0);
+  Rng rng(1);
+  Tensor e = Tensor::randn(g.num_edges(), f, rng);
+  Tensor out(g.num_vertices(), f);
+  for (auto _ : state) {
+    kernels::gather_edge_balanced(g, e, out, false);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges() * f);
+}
+BENCHMARK(BM_GatherEdgeBalancedAtomic)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_GatherVertexBalancedSkewed(benchmark::State& state) {
+  Graph& g = skewed_graph();
+  const std::int64_t f = state.range(0);
+  Rng rng(1);
+  Tensor e = Tensor::randn(g.num_edges(), f, rng);
+  Tensor out(g.num_vertices(), f);
+  for (auto _ : state) {
+    kernels::gather(g, ReduceFn::Sum, false, e, out, nullptr);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_GatherVertexBalancedSkewed)->Arg(16);
+
+void BM_ScatterAddUV(benchmark::State& state) {
+  Graph& g = bench_graph();
+  const std::int64_t f = state.range(0);
+  Rng rng(2);
+  Tensor h = Tensor::randn(g.num_vertices(), f, rng);
+  Tensor out(g.num_edges(), f);
+  for (auto _ : state) {
+    kernels::scatter(g, ScatterFn::AddUV, h, &h, out, 1);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges() * f);
+}
+BENCHMARK(BM_ScatterAddUV)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_EdgeSoftmax(benchmark::State& state) {
+  Graph& g = bench_graph();
+  const std::int64_t h = state.range(0);
+  Rng rng(3);
+  Tensor s = Tensor::randn(g.num_edges(), h, rng);
+  Tensor w(g.num_edges(), h);
+  for (auto _ : state) {
+    kernels::edge_softmax(g, s, w);
+    benchmark::DoNotOptimize(w.data());
+  }
+}
+BENCHMARK(BM_EdgeSoftmax)->Arg(1)->Arg(4);
+
+void BM_UnfusedScatterReluGather(benchmark::State& state) {
+  Graph& g = bench_graph();
+  const std::int64_t f = state.range(0);
+  Rng rng(4);
+  Tensor h = Tensor::randn(g.num_vertices(), f, rng);
+  Tensor e1(g.num_edges(), f), e2(g.num_edges(), f), out(g.num_vertices(), f);
+  for (auto _ : state) {
+    kernels::scatter(g, ScatterFn::SubUV, h, &h, e1, 1);
+    kernels::apply_unary(ApplyFn::ReLU, e1, e2, 0.f);
+    kernels::gather(g, ReduceFn::Sum, false, e2, out, nullptr);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_UnfusedScatterReluGather)->Arg(16)->Arg(64);
+
+void BM_FusedScatterReluGather(benchmark::State& state) {
+  Graph& g = bench_graph();
+  const std::int64_t f = state.range(0);
+  Rng rng(4);
+  Tensor h = Tensor::randn(g.num_vertices(), f, rng);
+  Tensor out = Tensor::zeros(g.num_vertices(), f);
+  EdgeProgram ep;
+  ep.mapping = WorkMapping::VertexBalanced;
+  ep.dst_major = true;
+  ep.phases.resize(1);
+  EPInstr lu{EPOp::LoadU, 0, -1, -1, 0, -1, -1, 0.f, 1, f};
+  EPInstr lv{EPOp::LoadV, 1, -1, -1, 0, -1, -1, 0.f, 1, f};
+  EPInstr sub{EPOp::Sub, 2, 0, 1, -1, -1, -1, 0.f, 1, f};
+  EPInstr relu{EPOp::ReLU, 3, 2, -1, -1, -1, -1, 0.f, 1, f};
+  EPInstr red{EPOp::Reduce, -1, 3, -1, -1, -1, 0, 0.f, 1, f};
+  ep.phases[0].instrs = {lu, lv, sub, relu, red};
+  ep.vertex_outputs = {{1, static_cast<std::uint8_t>(ReduceFn::Sum), f, 0,
+                        false, false, false}};
+  ep.num_regs = 4;
+  ep.reg_width = {f, f, f, f};
+  VmBindings b;
+  b.tensor = [&](int) -> const Tensor& { return h; };
+  b.out = [&](int) -> Tensor& { return out; };
+  b.aux = [](int) -> const IntTensor& { throw Error("no aux"); };
+  b.out_aux = [](int) -> IntTensor& { throw Error("no aux"); };
+  for (auto _ : state) {
+    run_edge_program(g, ep, b);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_FusedScatterReluGather)->Arg(16)->Arg(64);
+
+void BM_Sgemm(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(5);
+  Tensor a = Tensor::randn(n, n, rng);
+  Tensor b = Tensor::randn(n, n, rng);
+  Tensor c(n, n);
+  for (auto _ : state) {
+    ops::matmul(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Sgemm)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace triad
+
+BENCHMARK_MAIN();

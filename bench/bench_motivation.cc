@@ -1,0 +1,79 @@
+// Section 1 motivation numbers:
+//   * redundant neural-operator computation is 92.4% of total operators in
+//     an EdgeConv model (k=20);
+//   * intermediate data consume 91.9% of total memory in GAT training.
+// This binary recomputes both shares from the engine's own counters.
+#include "bench_common.h"
+
+using namespace triad;
+using namespace triad::bench;
+
+int main(int argc, char** argv) {
+  const Options opt = Options::parse(argc, argv);
+  std::printf("\n=== Section 1 motivation measurements ===\n");
+
+  {  // Redundant FLOP share in EdgeConv: flops removed by reorg / naive flops,
+     // restricted to the graph+apply pipeline (paper counts operator calls of
+     // the expensive ApplyEdge; FLOPs of the Θ-projection are the analogue).
+    Rng rng(opt.seed);
+    PointCloudBatch pc = make_point_cloud_batch(opt.points, 8, 20, 40, rng);
+    IntTensor labels(pc.graph.num_vertices(), 1);
+    for (std::int64_t v = 0; v < pc.graph.num_vertices(); ++v) {
+      labels.at(v, 0) = pc.labels.at(v / opt.points, 0);
+    }
+    auto flops_of = [&](const Strategy& s) {
+      Rng mrng(opt.seed + 1);
+      EdgeConvConfig cfg;
+      cfg.in_dim = 3;
+      cfg.hidden = {64, 64, 128, 256};
+      cfg.num_classes = 40;
+      Compiled c = compile_model(build_edgeconv(cfg, mrng), s, false);
+      MemoryPool pool;
+      const Measurement m = measure_training(std::move(c), pc.graph, pc.coords,
+                                             Tensor{}, labels, 1, false, &pool);
+      return static_cast<double>(m.counters.flops);
+    };
+    Strategy reorg_only = naive();
+    reorg_only.reorg = true;
+    const double nf = flops_of(naive());
+    const double rf = flops_of(reorg_only);
+    std::printf(
+        "EdgeConv (k=20): redundant FLOP share of forward pass = %.1f%%  "
+        "(paper reports 92.4%% of operators)\n",
+        100.0 * (nf - rf) / nf);
+  }
+
+  {  // Intermediate-memory share in GAT training under the stash-everything
+     // baseline.
+    Rng rng(opt.seed);
+    Dataset data = make_dataset("reddit", rng, opt.reddit_scale, opt.feat_scale);
+    Rng mrng(opt.seed + 1);
+    GatConfig cfg;
+    cfg.in_dim = data.features.cols();
+    cfg.hidden = 64;
+    cfg.heads = 4;
+    cfg.layers = 2;
+    cfg.num_classes = data.num_classes;
+    cfg.prereorganized = true;
+    cfg.builtin_softmax = true;
+    Compiled c = compile_model(build_gat(cfg, mrng), dgl_like(), true);
+    MemoryPool pool;
+    Trainer t(std::move(c), data.graph,
+              data.features.clone(MemTag::kInput, &pool), Tensor{}, &pool);
+    t.train_step(data.labels, 1e-3f);
+    const double stash = static_cast<double>(pool.peak_breakdown(MemTag::kStash));
+    const double activ =
+        static_cast<double>(pool.peak_breakdown(MemTag::kActivations));
+    const double grads =
+        static_cast<double>(pool.peak_breakdown(MemTag::kGradient));
+    const double total = static_cast<double>(pool.peak_bytes()) -
+                         static_cast<double>(pool.peak_breakdown(MemTag::kInput));
+    std::printf(
+        "GAT training (reddit, h=4 f=64): intermediate-data share of peak "
+        "memory = %.1f%%  (paper reports 91.9%%)\n",
+        100.0 * (stash + activ + grads) / total);
+    std::printf("  breakdown at peak: %s\n", pool.report().c_str());
+  }
+  print_footnote(opt);
+  return 0;
+}

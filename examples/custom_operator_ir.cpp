@@ -1,0 +1,87 @@
+// Example: building a custom message-passing model directly on the operator
+// IR — for users whose architecture is not one of the stock builders.
+//
+// The model: an edge-gated aggregation
+//     gate_e   = sigmoid-ish( <a, h_u - h_v> )         (here: LeakyReLU)
+//     h'_v     = max over incoming e of gate_e * (W h_u)
+// It composes Scatter, lightweight ApplyEdge, MulHead and a Max Gather —
+// all of which the fusion pass turns into a single kernel, and the max
+// backward stashes only O(|V|) argmax indices.
+//
+//   ./custom_operator_ir
+#include <cstdio>
+
+#include "baselines/strategy.h"
+#include "engine/executor.h"
+#include "graph/generators.h"
+#include "ir/autodiff.h"
+#include "ir/passes/fusion.h"
+#include "support/counters.h"
+#include "support/rng.h"
+#include "tensor/ops.h"
+
+using namespace triad;
+
+int main() {
+  Rng rng(5);
+  Graph g = gen::rmat(10, 8192, rng);  // skewed, Reddit-like
+  std::printf("graph: %s\n\n", g.stats().c_str());
+
+  const std::int64_t f_in = 16, f_out = 8;
+
+  // --- Build the forward IR ------------------------------------------------
+  IrGraph ir;
+  const int x = ir.input(Space::Vertex, 0, f_in, "features");
+  const int w = ir.param(f_in, f_out, "W");
+  const int a = ir.param(f_in, 1, "a");
+
+  const int h = ir.linear(x, w, 0, 0, "project");
+  const int score_u = ir.linear(x, a, 0, 0, "gate_u");
+  const int gate = ir.apply_unary(
+      ApplyFn::LeakyReLU,
+      ir.scatter(ScatterFn::SubUV, score_u, score_u, "gate_diff"), 0.2f, "gate");
+  const int msg = ir.scatter(ScatterFn::CopyU, h, -1, "message");
+  const int gated = ir.apply_binary(ApplyFn::MulHead, msg, gate, "gated", 1);
+  const int out = ir.gather(ReduceFn::Max, gated, false, "max_pool");
+  ir.mark_output(out);
+
+  // --- Autodiff + fusion ---------------------------------------------------
+  BackwardResult bwd = build_backward(ir, out);
+  for (auto& [param, grad] : bwd.param_grads) ir.mark_output(grad);
+  FusionStats stats;
+  IrGraph fused = fusion_pass(ir, {}, &stats);
+  std::printf("fusion: %d regions, %d ops fused, %d edge tensors eliminated, "
+              "%d stored\n",
+              stats.regions, stats.fused_nodes, stats.edge_tensors_eliminated,
+              stats.edge_tensors_stored);
+  for (std::size_t p = 0; p < fused.programs.size(); ++p) {
+    std::printf("\nkernel %zu:\n%s", p, fused.programs[p].dump().c_str());
+  }
+
+  // --- Execute both versions and verify they agree -------------------------
+  auto run = [&](const IrGraph& graph) {
+    Executor ex(g, graph);
+    Rng local(9);
+    for (const Node& n : graph.nodes()) {
+      if (n.kind == OpKind::Input || n.kind == OpKind::Param) {
+        const std::int64_t rows = n.space == Space::Vertex ? g.num_vertices()
+                                  : n.space == Space::Edge ? g.num_edges()
+                                                           : n.rows;
+        ex.bind(n.id, Tensor::randn(rows, n.cols, local));
+      }
+    }
+    CounterScope scope;
+    ex.run();
+    std::printf("  io=%s kernels=%llu\n",
+                human_bytes(scope.delta().io_bytes()).c_str(),
+                static_cast<unsigned long long>(scope.delta().kernel_launches));
+    return ex.result(graph.outputs[0]).clone();
+  };
+  std::printf("\nunfused run: ");
+  Tensor ref = run(ir);
+  std::printf("fused run:   ");
+  Tensor opt = run(fused);
+  std::printf("\nmax |difference| = %.2e (identical semantics)\n",
+              ops::max_abs_diff(ref, opt));
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Example: EdgeConv (DGCNN) point-cloud classification on synthetic
+// ModelNet40-style data — the workload that motivates the paper's redundancy
+// analysis (92.4% of EdgeConv operators are redundant, Section 1).
+//
+// The example prints the operator-level effect: how many expensive ApplyEdge
+// calls the paper-order graph performs vs the reorganized one, then trains.
+//
+//   ./edgeconv_pointcloud [points_per_cloud] [batch] [k]
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/strategy.h"
+#include "graph/knn.h"
+#include "models/models.h"
+#include "models/trainer.h"
+
+using namespace triad;
+
+namespace {
+
+/// Expensive (Linear) applies per space — the paper's operator-count lens.
+void print_expensive_ops(const char* label, const IrGraph& ir,
+                         std::int64_t num_vertices, std::int64_t num_edges) {
+  std::int64_t edge_rows = 0, vertex_rows = 0;
+  for (const Node& n : ir.nodes()) {
+    if (n.kind == OpKind::Apply && n.afn == ApplyFn::Linear) {
+      if (n.space == Space::Edge) edge_rows += num_edges;
+      if (n.space == Space::Vertex) vertex_rows += num_vertices;
+    }
+  }
+  const double redundant =
+      edge_rows + vertex_rows > 0
+          ? 100.0 * static_cast<double>(edge_rows) /
+                static_cast<double>(edge_rows + vertex_rows)
+          : 0.0;
+  std::printf("  %-12s expensive-apply rows: edge=%lld vertex=%lld  "
+              "(edge share %.1f%%)\n",
+              label, static_cast<long long>(edge_rows),
+              static_cast<long long>(vertex_rows), redundant);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int points = argc > 1 ? std::atoi(argv[1]) : 128;
+  const int batch = argc > 2 ? std::atoi(argv[2]) : 8;
+  const int k = argc > 3 ? std::atoi(argv[3]) : 20;
+
+  Rng rng(3);
+  PointCloudBatch pc = make_point_cloud_batch(points, batch, k, 40, rng);
+  std::printf("EdgeConv: %d clouds x %d points, k=%d -> %s\n", batch, points, k,
+              pc.graph.stats().c_str());
+
+  // Per-point labels replicate the cloud's category (see DESIGN.md).
+  IntTensor labels(pc.graph.num_vertices(), 1);
+  for (std::int64_t v = 0; v < pc.graph.num_vertices(); ++v) {
+    labels.at(v, 0) = pc.labels.at(v / points, 0);
+  }
+
+  EdgeConvConfig cfg;
+  cfg.in_dim = 3;
+  cfg.hidden = {32, 32};
+  cfg.num_classes = 40;
+
+  {  // Show where the redundancy lives before/after reorganization.
+    Rng mrng(99);
+    ModelGraph paper_order = build_edgeconv(cfg, mrng);
+    IrGraph reorganized = reorg_pass(paper_order.ir);
+    std::printf("\noperator census (Θ·(hu−hv) projections):\n");
+    print_expensive_ops("paper-order", paper_order.ir, pc.graph.num_vertices(),
+                        pc.graph.num_edges());
+    print_expensive_ops("reorganized", reorganized, pc.graph.num_vertices(),
+                        pc.graph.num_edges());
+  }
+
+  Rng mrng(99);
+  Compiled c = compile_model(build_edgeconv(cfg, mrng), ours(), true);
+  MemoryPool pool;
+  Trainer trainer(std::move(c), pc.graph,
+                  pc.coords.clone(MemTag::kInput, &pool), Tensor{}, &pool);
+  std::printf("\ntraining (optimized pipeline):\n");
+  for (int epoch = 0; epoch < 25; ++epoch) {
+    const StepMetrics m = trainer.train_step(labels, 0.03f);
+    if (epoch % 6 == 0 || epoch == 24) {
+      std::printf("  epoch %2d  loss %.4f  %.1f ms  peak %s\n", epoch, m.loss,
+                  m.seconds * 1e3, human_bytes(m.peak_bytes).c_str());
+    }
+  }
+  std::printf("per-point accuracy: %.3f\n", trainer.evaluate(labels));
+  return 0;
+}

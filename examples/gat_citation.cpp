@@ -1,0 +1,69 @@
+// Example: multi-head GAT node classification on a citation graph, comparing
+// the DGL-like baseline against the fully optimized pipeline on the same
+// weights — the workload of the paper's Figure 7 (GAT panel), as an
+// application rather than a benchmark.
+//
+//   ./gat_citation [dataset] [scale]
+//   ./gat_citation pubmed 0.5
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "baselines/strategy.h"
+#include "graph/datasets.h"
+#include "models/models.h"
+#include "models/trainer.h"
+
+using namespace triad;
+
+namespace {
+
+GatConfig gat_config(const Dataset& data, const Strategy& s) {
+  GatConfig cfg;
+  cfg.in_dim = data.features.cols();
+  cfg.hidden = 16;
+  cfg.heads = 4;
+  cfg.layers = 2;
+  cfg.num_classes = data.num_classes;
+  cfg.prereorganized = s.prereorganized_gat;
+  cfg.builtin_softmax = s.builtin_softmax;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dataset = argc > 1 ? argv[1] : "cora";
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.25;
+
+  Rng rng(11);
+  Dataset data = make_dataset(dataset, rng, scale, /*feat_scale=*/0.1);
+  std::printf("GAT on %s: %s\n", dataset.c_str(), data.graph.stats().c_str());
+
+  for (const Strategy& s : {dgl_like(), ours()}) {
+    Rng mrng(1234);  // same init for a fair comparison
+    Compiled c = compile_model(build_gat(gat_config(data, s), mrng), s, true);
+    MemoryPool pool;
+    Trainer trainer(std::move(c), data.graph,
+                    data.features.clone(MemTag::kInput, &pool), Tensor{}, &pool);
+    double total_s = 0;
+    float loss = 0;
+    std::uint64_t io = 0;
+    for (int epoch = 0; epoch < 15; ++epoch) {
+      const StepMetrics m = trainer.train_step(data.labels, 0.05f);
+      total_s += m.seconds;
+      io += m.counters.io_bytes();
+      loss = m.loss;
+    }
+    std::printf(
+        "  %-10s final loss %.4f  acc %.3f  %6.1f ms/epoch  io/epoch %s  "
+        "peak %s\n",
+        s.name.c_str(), loss, trainer.evaluate(data.labels),
+        total_s / 15 * 1e3, human_bytes(io / 15).c_str(),
+        human_bytes(pool.peak_bytes()).c_str());
+  }
+  std::printf(
+      "\nBoth strategies train the same model to the same loss; the optimized\n"
+      "pipeline differs only in latency, IO, and peak memory.\n");
+  return 0;
+}

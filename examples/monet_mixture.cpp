@@ -1,0 +1,63 @@
+// Example: MoNet / GMMConv with learnable gaussian mixtures over degree-based
+// pseudo-coordinates, showing the fusion-recomputation combo on a model whose
+// edge weights are *parametric* (gradients flow to μ and σ — the regime
+// the paper highlights as "gradient computation on edge feature").
+//
+//   ./monet_mixture [dataset] [kernels] [pseudo_dim]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "baselines/strategy.h"
+#include "graph/datasets.h"
+#include "models/models.h"
+#include "models/trainer.h"
+
+using namespace triad;
+
+int main(int argc, char** argv) {
+  const std::string dataset = argc > 1 ? argv[1] : "citeseer";
+  const int kernels = argc > 2 ? std::atoi(argv[2]) : 3;
+  const int r = argc > 3 ? std::atoi(argv[3]) : 2;
+
+  Rng rng(21);
+  Dataset data = make_dataset(dataset, rng, 0.25, 0.05);
+  Tensor pseudo = make_pseudo_coords(data.graph, r);
+  std::printf("MoNet on %s (K=%d, r=%d): %s\n", dataset.c_str(), kernels, r,
+              data.graph.stats().c_str());
+
+  MoNetConfig cfg;
+  cfg.in_dim = data.features.cols();
+  cfg.hidden = 16;
+  cfg.layers = 2;
+  cfg.kernels = kernels;
+  cfg.pseudo_dim = r;
+  cfg.num_classes = data.num_classes;
+
+  // Train under the three Figure-10 variants; weights are identical, so the
+  // losses coincide while memory/latency differ.
+  for (const Strategy& s : {ours_no_fusion(), ours_fusion_stash(), ours()}) {
+    Rng mrng(808);
+    Compiled c = compile_model(build_monet(cfg, mrng), s, true);
+    MemoryPool pool;
+    Trainer trainer(std::move(c), data.graph,
+                    data.features.clone(MemTag::kInput, &pool),
+                    pseudo.clone(MemTag::kInput, &pool), &pool);
+    float loss = 0;
+    double seconds = 0;
+    for (int epoch = 0; epoch < 20; ++epoch) {
+      const StepMetrics m = trainer.train_step(data.labels, 0.05f);
+      loss = m.loss;
+      seconds += m.seconds;
+    }
+    std::printf("  %-20s loss %.4f  acc %.3f  %6.1f ms/epoch  stash %s  peak %s\n",
+                s.name.c_str(), loss, trainer.evaluate(data.labels),
+                seconds / 20 * 1e3,
+                human_bytes(pool.peak_breakdown(MemTag::kStash)).c_str(),
+                human_bytes(pool.peak_bytes()).c_str());
+  }
+  std::printf(
+      "\nSame losses across rows confirm the rewrites are exact; the stash\n"
+      "column shows recomputation discarding the O(|E|) mixture weights.\n");
+  return 0;
+}

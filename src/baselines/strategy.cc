@@ -1,0 +1,138 @@
+#include "baselines/strategy.h"
+
+#include <algorithm>
+
+namespace triad {
+
+Strategy dgl_like() {
+  Strategy s;
+  s.name = "DGL";
+  s.prereorganized_gat = true;  // DGL's GATConv separates aL/aR by hand
+  s.builtin_softmax = true;     // DGL ships a fused edge-softmax kernel
+  return s;
+}
+
+Strategy fusegnn_like() {
+  Strategy s;
+  s.name = "fuseGNN";
+  s.builtin_softmax = true;
+  s.fusion = FusionMode::EdgeOnly;
+  return s;
+}
+
+Strategy ours() {
+  Strategy s;
+  s.name = "Ours";
+  s.reorg = true;
+  s.fusion = FusionMode::Unified;
+  s.recompute = true;
+  return s;
+}
+
+Strategy naive() {
+  Strategy s;
+  s.name = "Naive";
+  return s;
+}
+
+Strategy ours_no_reorg() {
+  Strategy s = ours();
+  s.name = "Ours(-reorg)";
+  s.reorg = false;
+  return s;
+}
+
+Strategy ours_no_fusion() {
+  Strategy s = ours();
+  s.name = "Ours(-fusion)";
+  s.fusion = FusionMode::None;
+  s.recompute = false;  // recomputation without fusion re-materializes O(|E|)
+  return s;
+}
+
+Strategy ours_fusion_stash() {
+  Strategy s = ours();
+  s.name = "Ours(fusion+stash)";
+  s.recompute = false;
+  return s;
+}
+
+namespace {
+
+int find_by_name(const IrGraph& g, const std::string& name) {
+  int found = -1;
+  for (const Node& n : g.nodes()) {
+    if (n.name == name &&
+        (n.kind == OpKind::Input || n.kind == OpKind::Param)) {
+      TRIAD_CHECK(found < 0, "duplicate node name '" << name << "'");
+      found = n.id;
+    }
+  }
+  TRIAD_CHECK_GE(found, 0, "node '" << name << "' not found");
+  return found;
+}
+
+}  // namespace
+
+Compiled compile_model(ModelGraph model, const Strategy& s, bool training) {
+  Compiled c;
+  c.init = std::move(model.init);
+
+  // Remember stable names for inputs/params (ids change across passes).
+  std::vector<std::string> param_names;
+  param_names.reserve(model.params.size());
+  for (int p : model.params) param_names.push_back(model.ir.node(p).name);
+  const std::string feat_name = model.ir.node(model.features).name;
+  const std::string pseudo_name =
+      model.pseudo >= 0 ? model.ir.node(model.pseudo).name : "";
+
+  IrGraph ir = std::move(model.ir);
+  ir.outputs.clear();
+  ir.mark_output(model.output);
+
+  if (s.reorg) {
+    ir = reorg_pass(ir);
+  }
+
+  if (training) {
+    const int output = ir.outputs[0];
+    BackwardResult bwd = build_backward(ir, output);
+    // outputs: [logits, grad(param_0), grad(param_1), ...] in param order.
+    std::unordered_map<int, int> grad_of_param(bwd.param_grads.begin(),
+                                               bwd.param_grads.end());
+    for (const std::string& pname : param_names) {
+      const int pid = find_by_name(ir, pname);
+      const auto it = grad_of_param.find(pid);
+      TRIAD_CHECK(it != grad_of_param.end(),
+                  "param '" << pname << "' received no gradient");
+      ir.mark_output(it->second);
+    }
+    if (s.recompute) {
+      ir = recompute_pass(ir);
+    }
+  }
+
+  if (s.fusion != FusionMode::None) {
+    FusionOptions fo;
+    fo.mode = s.fusion;
+    fo.preferred = s.mapping;
+    ir = fusion_pass(ir, fo);
+  }
+
+  c.output = ir.outputs[0];
+  if (training) {
+    for (std::size_t i = 1; i < ir.outputs.size(); ++i) {
+      c.param_grads.push_back(ir.outputs[i]);
+    }
+    c.seed = find_by_name(ir, "grad_seed");
+  }
+  for (const std::string& pname : param_names) {
+    c.params.push_back(find_by_name(ir, pname));
+  }
+  c.features = find_by_name(ir, feat_name);
+  if (!pseudo_name.empty()) c.pseudo = find_by_name(ir, pseudo_name);
+  c.ir = std::move(ir);
+  return c;
+}
+
+}  // namespace triad

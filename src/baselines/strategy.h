@@ -1,0 +1,65 @@
+// Execution strategies: the paper's system under test and its baselines.
+//
+// A Strategy bundles (a) builder flags reproducing hand-optimizations the
+// baseline frameworks ship, and (b) the pass pipeline configuration. The
+// presets mirror Section 7:
+//   * dgl_like()     — DGL: op-by-op kernels, built-in fused edge-softmax,
+//                      hand-reorganized GAT module, stash everything.
+//   * fusegnn_like() — fuseGNN: fuses edge-centric operator chains only,
+//                      no reorganization theory, stash everything.
+//   * ours()         — this paper: ReorgPass + unified-mapping FusionPass +
+//                      RecomputePass.
+//   * naive()        — no optimization at all (ablation baselines, Fig. 8/9).
+// Ablation presets toggle individual techniques (Figs. 8–10).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/autodiff.h"
+#include "ir/passes/fusion.h"
+#include "ir/passes/recompute.h"
+#include "ir/passes/reorg.h"
+#include "models/models.h"
+
+namespace triad {
+
+struct Strategy {
+  std::string name;
+  // Builder flags (consumed by the harness when constructing the model).
+  bool prereorganized_gat = false;
+  bool builtin_softmax = false;
+  // Pass pipeline.
+  bool reorg = false;
+  FusionMode fusion = FusionMode::None;
+  WorkMapping mapping = WorkMapping::VertexBalanced;
+  bool recompute = false;
+};
+
+Strategy dgl_like();
+Strategy fusegnn_like();
+Strategy ours();
+Strategy naive();
+Strategy ours_no_reorg();
+Strategy ours_no_fusion();
+Strategy ours_fusion_stash();  ///< fusion without recomputation (Fig. 10 middle)
+
+/// A model compiled under a strategy, ready to execute.
+struct Compiled {
+  IrGraph ir;
+  int features = -1;
+  int pseudo = -1;
+  int output = -1;
+  int seed = -1;  ///< gradient seed Input (training only)
+  std::vector<int> params;
+  std::vector<int> param_grads;  ///< aligned with params (training only)
+  std::vector<Tensor> init;      ///< initial parameter values
+};
+
+/// Applies the strategy's pass pipeline to a freshly built model.
+/// `training` appends the backward pass (autodiff) between reorg and the
+/// memory passes, exactly the pipeline order the paper's design implies.
+Compiled compile_model(ModelGraph model, const Strategy& s, bool training);
+
+}  // namespace triad

@@ -1,0 +1,73 @@
+// Unfused operator kernels.
+//
+// Each kernel executes the real arithmetic on the CPU and charges the global
+// PerfCounters with the DRAM traffic a GPU kernel of the conventional mapping
+// would incur (edge-balanced for edge-centric operators, vertex-balanced for
+// vertex-centric ones — the status quo the paper's Section 5 starts from).
+// The traffic model is the paper's own: one global-memory access per tensor
+// element touched per edge/vertex, plus 4 B of adjacency index per edge.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.h"
+#include "ir/graph.h"
+#include "tensor/tensor.h"
+
+namespace triad::kernels {
+
+/// me = sfn(a[src(e)], b[dst(e)]) for every edge. Edge-balanced.
+void scatter(const Graph& g, ScatterFn fn, const Tensor& a, const Tensor* b,
+             Tensor& out, std::int64_t heads);
+
+/// hv = reduce over incoming (or outgoing when reverse) edges. Vertex-balanced.
+/// Max additionally records the winning edge id per (vertex, column) in
+/// `argmax` when provided.
+void gather(const Graph& g, ReduceFn fn, bool reverse, const Tensor& edge_feat,
+            Tensor& out, IntTensor* argmax);
+
+/// The same gather executed edge-balanced with atomic accumulation (Sum only)
+/// — used by micro-benchmarks comparing the two mappings (Figure 5).
+void gather_edge_balanced(const Graph& g, const Tensor& edge_feat, Tensor& out,
+                          bool reverse);
+
+// --- Apply kernels (space-agnostic) ----------------------------------------
+void apply_unary(ApplyFn fn, const Tensor& x, Tensor& out, float alpha);
+void apply_binary(ApplyFn fn, const Tensor& a, const Tensor& b, Tensor& out,
+                  std::int64_t heads, float alpha);
+/// y = x · W[wrow_lo:wrow_hi, :].
+void linear(const Tensor& x, const Tensor& w, Tensor& out, std::int64_t wrow_lo,
+            std::int64_t wrow_hi);
+/// Wgrad[wrow_lo:wrow_hi, :] = xᵀ · grad (rows outside the window zero).
+void linear_wgrad(const Tensor& x, const Tensor& grad, Tensor& out,
+                  std::int64_t wrow_lo, std::int64_t wrow_hi);
+/// xgrad = grad · W[wrow_lo:wrow_hi, :]ᵀ.
+void linear_xgrad(const Tensor& grad, const Tensor& w, Tensor& out,
+                  std::int64_t wrow_lo, std::int64_t wrow_hi);
+void head_sum(const Tensor& x, Tensor& out, std::int64_t heads, float alpha);
+void head_broadcast(const Tensor& x, Tensor& out, std::int64_t heads, float alpha);
+void bias(const Tensor& x, const Tensor& b, Tensor& out);
+void bias_grad(const Tensor& grad, Tensor& out);
+void slice_cols(const Tensor& x, Tensor& out, std::int64_t lo, std::int64_t hi);
+
+// --- Special kernels --------------------------------------------------------
+/// DGL-style built-in fused edge-softmax over each vertex's incoming edges.
+void edge_softmax(const Graph& g, const Tensor& scores, Tensor& out);
+/// Backward: grad_s[e] = w[e] * (g[e] - sum_{e'->v} g[e'] w[e']).
+void edge_softmax_grad(const Graph& g, const Tensor& grad, const Tensor& w,
+                       Tensor& out);
+/// Routes vertex gradients to the argmax edge of a Max gather.
+void gather_max_bwd(const Graph& g, const Tensor& grad_v, const IntTensor& argmax,
+                    Tensor& out, bool reverse);
+/// out[v,0] = 1 / max(1, degree(v)); in-degree unless reverse.
+void degree_inv(const Graph& g, Tensor& out, bool reverse);
+/// MoNet mixture weights: out[e,k] = exp(-1/2 Σ_j σ[k,j]² (p[e,j]-μ[k,j])²).
+void gaussian(const Tensor& pseudo, const Tensor& mu, const Tensor& sigma,
+              Tensor& out);
+void gaussian_grad_mu(const Tensor& grad, const Tensor& pseudo, const Tensor& mu,
+                      const Tensor& sigma, const Tensor& w, Tensor& out);
+void gaussian_grad_sigma(const Tensor& grad, const Tensor& pseudo,
+                         const Tensor& mu, const Tensor& sigma, const Tensor& w,
+                         Tensor& out);
+
+}  // namespace triad::kernels

@@ -1,0 +1,452 @@
+#include "engine/vm.h"
+
+#include "ir/graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "support/counters.h"
+#include "support/macros.h"
+#include "support/parallel.h"
+
+namespace triad {
+
+namespace {
+
+constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+
+// Pre-resolved instruction: tensor handles resolved to raw pointers once per
+// program execution, so the per-edge interpreter loop touches no hash maps
+// or std::function. Registers are *pointers*: a Load aliases the source row
+// (zero copy); compute ops write into a per-worker backing buffer.
+struct RInstr {
+  EPOp op;
+  int dst, a, b, acc;
+  const float* data = nullptr;        // Load*/Gauss mu
+  const float* data2 = nullptr;       // Gauss sigma
+  const std::int32_t* aux = nullptr;  // MaxBwdMask argmax
+  float* out = nullptr;               // StoreE target
+  std::int64_t data_cols = 0;         // row stride of `data`
+  std::int64_t gauss_r = 0;           // pseudo-coordinate dim
+  float alpha;
+  std::int64_t heads;
+  std::int64_t width;
+  std::int64_t a_width = 0;  // operand width (DotHead)
+};
+
+struct ResolvedProgram {
+  std::vector<std::vector<RInstr>> phases;
+  std::vector<float*> vout_data;        // per vertex_output
+  std::vector<std::int32_t*> vout_aux;  // argmax outputs (or nullptr)
+};
+
+struct WorkerState {
+  std::vector<const float*> ptr;   // current value of each register
+  std::vector<float> buf;          // backing storage for compute dsts
+  std::vector<std::int64_t> base;  // register offsets into buf
+  std::vector<float> acc;          // sequential accumulators
+  std::vector<std::int64_t> acc_base;
+  std::vector<std::int32_t> acc_arg;
+  std::vector<std::int64_t> count;
+};
+
+void init_worker(WorkerState& ws, const EdgeProgram& ep) {
+  ws.base.resize(ep.num_regs);
+  std::int64_t off = 0;
+  for (int r = 0; r < ep.num_regs; ++r) {
+    ws.base[r] = off;
+    off += ep.reg_width[r];
+  }
+  ws.buf.assign(off, 0.f);
+  ws.ptr.assign(ep.num_regs, nullptr);
+  ws.acc_base.resize(ep.vertex_outputs.size());
+  std::int64_t acc_off = 0;
+  for (std::size_t i = 0; i < ep.vertex_outputs.size(); ++i) {
+    ws.acc_base[i] = acc_off;
+    acc_off += ep.vertex_outputs[i].width;
+  }
+  ws.acc.assign(acc_off, 0.f);
+  ws.acc_arg.assign(acc_off, -1);
+  ws.count.assign(ep.vertex_outputs.size(), 0);
+}
+
+ResolvedProgram resolve(const EdgeProgram& ep, const VmBindings& b) {
+  ResolvedProgram rp;
+  rp.phases.resize(ep.phases.size());
+  for (std::size_t p = 0; p < ep.phases.size(); ++p) {
+    for (const EPInstr& in : ep.phases[p].instrs) {
+      RInstr r;
+      r.op = in.op;
+      r.dst = in.dst;
+      r.a = in.a;
+      r.b = in.b;
+      r.acc = in.acc;
+      r.alpha = in.alpha;
+      r.heads = in.heads;
+      r.width = in.width;
+      switch (in.op) {
+        case EPOp::LoadU:
+        case EPOp::LoadV:
+        case EPOp::LoadE: {
+          const Tensor& t = b.tensor(in.tensor);
+          r.data = t.data();
+          r.data_cols = t.cols();
+          break;
+        }
+        case EPOp::LoadAcc: {
+          const Tensor& t = b.out(in.tensor);
+          r.data = t.data();
+          r.data_cols = t.cols();
+          break;
+        }
+        case EPOp::Gauss: {
+          const Tensor& mu = b.tensor(in.tensor);
+          const Tensor& sigma = b.tensor(in.tensor2);
+          r.data = mu.data();
+          r.data2 = sigma.data();
+          r.gauss_r = mu.cols();
+          break;
+        }
+        case EPOp::MaxBwdMask:
+          r.aux = b.aux(in.tensor).data();
+          break;
+        case EPOp::StoreE:
+          r.out = b.out(in.tensor).data();
+          r.data_cols = b.out(in.tensor).cols();
+          break;
+        case EPOp::DotHead:
+          break;
+        default:
+          break;
+      }
+      if (in.op == EPOp::DotHead && in.a >= 0) r.a_width = ep.reg_width[in.a];
+      rp.phases[p].push_back(r);
+    }
+  }
+  rp.vout_data.resize(ep.vertex_outputs.size());
+  rp.vout_aux.assign(ep.vertex_outputs.size(), nullptr);
+  for (std::size_t i = 0; i < ep.vertex_outputs.size(); ++i) {
+    rp.vout_data[i] = b.out(ep.vertex_outputs[i].node).data();
+    if (ep.vertex_outputs[i].track_argmax) {
+      rp.vout_aux[i] = b.out_aux(ep.vertex_outputs[i].node).data();
+    }
+  }
+  return rp;
+}
+
+/// Evaluates one instruction for the current edge. `center` is the vertex the
+/// worker owns (dst in dst-major kernels).
+inline void eval_instr(const RInstr& in, WorkerState& ws, const EdgeProgram& ep,
+                       const ResolvedProgram& rp, std::int64_t src,
+                       std::int64_t dst, std::int64_t eid, std::int64_t center) {
+  const float* a = in.a >= 0 ? ws.ptr[in.a] : nullptr;
+  const float* bb = in.b >= 0 ? ws.ptr[in.b] : nullptr;
+  float* d = nullptr;
+  if (in.dst >= 0 && in.op != EPOp::LoadU && in.op != EPOp::LoadV &&
+      in.op != EPOp::LoadE && in.op != EPOp::LoadAcc && in.op != EPOp::Copy) {
+    d = ws.buf.data() + ws.base[in.dst];
+    ws.ptr[in.dst] = d;
+  }
+  const std::int64_t w = in.width;
+  switch (in.op) {
+    case EPOp::LoadU:
+      ws.ptr[in.dst] = in.data + src * in.data_cols;
+      break;
+    case EPOp::LoadV:
+      ws.ptr[in.dst] = in.data + dst * in.data_cols;
+      break;
+    case EPOp::LoadE:
+      ws.ptr[in.dst] = in.data + eid * in.data_cols;
+      break;
+    case EPOp::LoadAcc:
+      ws.ptr[in.dst] = in.data + center * in.data_cols;
+      break;
+    case EPOp::Copy:
+      ws.ptr[in.dst] = a;  // pure alias
+      break;
+    case EPOp::Add:
+      for (std::int64_t j = 0; j < w; ++j) d[j] = a[j] + bb[j];
+      break;
+    case EPOp::Sub:
+      for (std::int64_t j = 0; j < w; ++j) d[j] = a[j] - bb[j];
+      break;
+    case EPOp::Mul:
+      for (std::int64_t j = 0; j < w; ++j) d[j] = a[j] * bb[j];
+      break;
+    case EPOp::Div:
+      for (std::int64_t j = 0; j < w; ++j) d[j] = a[j] / bb[j];
+      break;
+    case EPOp::MulHead: {
+      const std::int64_t f = w / in.heads;
+      for (std::int64_t h = 0; h < in.heads; ++h) {
+        const float s = bb[h];
+        for (std::int64_t j = 0; j < f; ++j) d[h * f + j] = s * a[h * f + j];
+      }
+      break;
+    }
+    case EPOp::DotHead: {
+      const std::int64_t f_in = in.a_width / in.heads;
+      for (std::int64_t h = 0; h < in.heads; ++h) {
+        float s = 0.f;
+        for (std::int64_t j = 0; j < f_in; ++j) {
+          s += a[h * f_in + j] * bb[h * f_in + j];
+        }
+        d[h] = s;
+      }
+      break;
+    }
+    case EPOp::LeakyReLU:
+      for (std::int64_t j = 0; j < w; ++j) d[j] = a[j] > 0.f ? a[j] : in.alpha * a[j];
+      break;
+    case EPOp::ReLU:
+      for (std::int64_t j = 0; j < w; ++j) d[j] = a[j] > 0.f ? a[j] : 0.f;
+      break;
+    case EPOp::ELU:
+      for (std::int64_t j = 0; j < w; ++j) {
+        d[j] = a[j] > 0.f ? a[j] : in.alpha * (std::exp(a[j]) - 1.f);
+      }
+      break;
+    case EPOp::Exp:
+      for (std::int64_t j = 0; j < w; ++j) d[j] = std::exp(a[j]);
+      break;
+    case EPOp::Neg:
+      for (std::int64_t j = 0; j < w; ++j) d[j] = -a[j];
+      break;
+    case EPOp::Scale:
+      for (std::int64_t j = 0; j < w; ++j) d[j] = in.alpha * a[j];
+      break;
+    case EPOp::LeakyReLUGrad:
+      for (std::int64_t j = 0; j < w; ++j) d[j] = bb[j] > 0.f ? a[j] : in.alpha * a[j];
+      break;
+    case EPOp::ReLUGrad:
+      for (std::int64_t j = 0; j < w; ++j) d[j] = bb[j] > 0.f ? a[j] : 0.f;
+      break;
+    case EPOp::ELUGrad:
+      for (std::int64_t j = 0; j < w; ++j) {
+        d[j] = bb[j] > 0.f ? a[j] : a[j] * in.alpha * std::exp(bb[j]);
+      }
+      break;
+    case EPOp::ExpGrad:
+      for (std::int64_t j = 0; j < w; ++j) d[j] = a[j] * bb[j];
+      break;
+    case EPOp::Gauss: {
+      for (std::int64_t k = 0; k < w; ++k) {
+        const float* pm = in.data + k * in.gauss_r;
+        const float* ps = in.data2 + k * in.gauss_r;
+        float accv = 0.f;
+        for (std::int64_t j = 0; j < in.gauss_r; ++j) {
+          const float diff = a[j] - pm[j];
+          accv += ps[j] * ps[j] * diff * diff;
+        }
+        d[k] = std::exp(-0.5f * accv);
+      }
+      break;
+    }
+    case EPOp::MaxBwdMask: {
+      const std::int32_t* pm = in.aux + dst * w;
+      for (std::int64_t j = 0; j < w; ++j) {
+        d[j] = pm[j] == static_cast<std::int32_t>(eid) ? a[j] : 0.f;
+      }
+      break;
+    }
+    case EPOp::Reduce: {
+      const VertexOutput& vo = ep.vertex_outputs[in.acc];
+      const bool same_orientation =
+          ep.mapping == WorkMapping::VertexBalanced && vo.reverse != ep.dst_major;
+      if (same_orientation) {
+        float* accp = ws.acc.data() + ws.acc_base[in.acc];
+        switch (static_cast<ReduceFn>(vo.rfn)) {
+          case ReduceFn::Sum:
+          case ReduceFn::Mean:
+            for (std::int64_t j = 0; j < w; ++j) accp[j] += a[j];
+            break;
+          case ReduceFn::Max: {
+            std::int32_t* argp = ws.acc_arg.data() + ws.acc_base[in.acc];
+            for (std::int64_t j = 0; j < w; ++j) {
+              if (a[j] > accp[j]) {
+                accp[j] = a[j];
+                argp[j] = static_cast<std::int32_t>(eid);
+              }
+            }
+            break;
+          }
+        }
+        ws.count[in.acc] += 1;
+      } else {
+        const std::int64_t target = vo.reverse ? src : dst;
+        float* out_row = rp.vout_data[in.acc] + target * w;
+        for (std::int64_t j = 0; j < w; ++j) atomic_add(out_row + j, a[j]);
+      }
+      break;
+    }
+    case EPOp::StoreE:
+      std::copy_n(a, w, in.out + eid * in.data_cols);
+      break;
+  }
+}
+
+/// Analytic cost accounting for one full program execution.
+void charge_program(const Graph& g, const EdgeProgram& ep) {
+  PerfCounters& c = global_counters();
+  const auto m = static_cast<std::uint64_t>(g.num_edges());
+  const auto n = static_cast<std::uint64_t>(g.num_vertices());
+  std::uint64_t read = 0, write = 0, flops = 0, atomics = 0, onchip = 0;
+  for (std::size_t p = 0; p < ep.phases.size(); ++p) {
+    read += m * 4 + n * 8;  // adjacency per phase sweep
+    for (const EPInstr& in : ep.phases[p].instrs) {
+      const auto w = static_cast<std::uint64_t>(in.width);
+      switch (in.op) {
+        case EPOp::LoadU:
+        case EPOp::LoadV:
+        case EPOp::LoadE:
+          read += m * w * 4;
+          break;
+        case EPOp::LoadAcc:
+          read += n * w * 4;  // cached in registers per vertex
+          break;
+        case EPOp::StoreE:
+          write += m * w * 4;
+          onchip += m * w * 4;
+          break;
+        case EPOp::Reduce: {
+          const VertexOutput& vo = ep.vertex_outputs[in.acc];
+          const bool same_orientation =
+              ep.mapping == WorkMapping::VertexBalanced && vo.reverse != ep.dst_major;
+          if (same_orientation) {
+            flops += m * w;
+            onchip += m * w * 4;
+          } else {
+            read += m * w * 4;
+            write += m * w * 4;
+            atomics += m * w;
+            flops += m * w;
+          }
+          break;
+        }
+        case EPOp::Gauss:
+          read += 2ull * in.width * 4;  // mu/sigma, cached
+          flops += m * w * 5;
+          onchip += m * w * 4;
+          break;
+        case EPOp::MaxBwdMask:
+          read += n * w * 4;  // argmax aux per vertex
+          onchip += m * w * 4;
+          break;
+        case EPOp::DotHead:
+          flops += m * w * 2;
+          onchip += m * w * 4;
+          break;
+        default:
+          flops += m * w;
+          onchip += m * w * 4;
+      }
+    }
+  }
+  for (const VertexOutput& vo : ep.vertex_outputs) {
+    const bool same_orientation =
+        ep.mapping == WorkMapping::VertexBalanced && vo.reverse != ep.dst_major;
+    if (same_orientation) write += n * static_cast<std::uint64_t>(vo.width) * 4;
+  }
+  c.dram_read_bytes += read;
+  c.dram_write_bytes += write;
+  c.flops += flops;
+  c.atomic_ops += atomics;
+  c.onchip_bytes += onchip;
+  c.kernel_launches += 1;
+}
+
+}  // namespace
+
+void run_edge_program(const Graph& g, const EdgeProgram& ep, const VmBindings& b) {
+  TRIAD_CHECK_GT(ep.phases.size(), 0u, "empty edge program");
+  const ResolvedProgram rp = resolve(ep, b);
+
+  const auto& ptr = ep.dst_major ? g.in_ptr() : g.out_ptr();
+  const auto& adj = ep.dst_major ? g.in_src() : g.out_dst();
+  const auto& eid = ep.dst_major ? g.in_eid() : g.out_eid();
+  const std::int64_t n = g.num_vertices();
+
+  if (ep.mapping == WorkMapping::VertexBalanced) {
+    parallel_for_chunks(0, n, [&](std::int64_t lo_v, std::int64_t hi_v) {
+      WorkerState ws;
+      init_worker(ws, ep);
+      for (std::int64_t v = lo_v; v < hi_v; ++v) {
+        const std::int64_t elo = ptr[v];
+        const std::int64_t ehi = ptr[v + 1];
+        for (std::size_t p = 0; p < ep.phases.size(); ++p) {
+          // Init sequential accumulators fed by this phase.
+          for (std::size_t i = 0; i < ep.vertex_outputs.size(); ++i) {
+            const VertexOutput& vo = ep.vertex_outputs[i];
+            if (vo.phase != static_cast<int>(p)) continue;
+            if (vo.reverse == ep.dst_major) continue;  // atomic, no local acc
+            float* accp = ws.acc.data() + ws.acc_base[i];
+            const float init =
+                static_cast<ReduceFn>(vo.rfn) == ReduceFn::Max ? kNegInf : 0.f;
+            std::fill_n(accp, vo.width, init);
+            std::fill_n(ws.acc_arg.data() + ws.acc_base[i], vo.width, -1);
+            ws.count[i] = 0;
+          }
+          const std::vector<RInstr>& instrs = rp.phases[p];
+          for (std::int64_t i = elo; i < ehi; ++i) {
+            const std::int64_t other = adj[i];
+            const std::int64_t e = eid[i];
+            const std::int64_t src = ep.dst_major ? other : v;
+            const std::int64_t dst = ep.dst_major ? v : other;
+            for (const RInstr& in : instrs) {
+              eval_instr(in, ws, ep, rp, src, dst, e, v);
+            }
+          }
+          // Finalize this phase's sequential reductions for vertex v.
+          for (std::size_t i = 0; i < ep.vertex_outputs.size(); ++i) {
+            const VertexOutput& vo = ep.vertex_outputs[i];
+            if (vo.phase != static_cast<int>(p)) continue;
+            if (vo.reverse == ep.dst_major) continue;
+            float* accp = ws.acc.data() + ws.acc_base[i];
+            const auto rf = static_cast<ReduceFn>(vo.rfn);
+            if (rf == ReduceFn::Mean && ws.count[i] > 0) {
+              const float inv = 1.f / static_cast<float>(ws.count[i]);
+              for (std::int64_t j = 0; j < vo.width; ++j) accp[j] *= inv;
+            }
+            if (rf == ReduceFn::Max && ws.count[i] == 0) {
+              std::fill_n(accp, vo.width, 0.f);  // isolated vertex
+            }
+            std::copy_n(accp, vo.width, rp.vout_data[i] + v * vo.width);
+            if (vo.track_argmax) {
+              std::copy_n(ws.acc_arg.data() + ws.acc_base[i], vo.width,
+                          rp.vout_aux[i] + v * vo.width);
+            }
+          }
+        }
+      }
+    }, /*grain=*/64);
+  } else {
+    // Edge-balanced: single phase, Sum-only reductions via atomics.
+    TRIAD_CHECK_EQ(ep.phases.size(), 1u, "edge-balanced programs are single-phase");
+    for (const VertexOutput& vo : ep.vertex_outputs) {
+      TRIAD_CHECK(static_cast<ReduceFn>(vo.rfn) == ReduceFn::Sum,
+                  "edge-balanced mapping supports Sum reductions only");
+    }
+    const auto& esrc = g.edge_src();
+    const auto& edst = g.edge_dst();
+    parallel_for_chunks(0, g.num_edges(), [&](std::int64_t lo_e, std::int64_t hi_e) {
+      WorkerState ws;
+      init_worker(ws, ep);
+      const std::vector<RInstr>& instrs = rp.phases[0];
+      for (std::int64_t e = lo_e; e < hi_e; ++e) {
+        const std::int64_t src = esrc[e];
+        const std::int64_t dst = edst[e];
+        for (const RInstr& in : instrs) {
+          TRIAD_CHECK(in.op != EPOp::LoadAcc,
+                      "LoadAcc is invalid under edge-balanced mapping");
+          eval_instr(in, ws, ep, rp, src, dst, e, dst);
+        }
+      }
+    }, /*grain=*/4096);
+  }
+
+  charge_program(g, ep);
+}
+
+}  // namespace triad

@@ -1,0 +1,32 @@
+// The EdgeProgram interpreter — execution of fused graph kernels (Section 5).
+//
+// One invocation = one device kernel. Under vertex-balanced mapping the VM
+// walks destination (or source) vertices, evaluating the per-edge register
+// program phase by phase; reductions matching the kernel orientation use
+// sequential per-vertex accumulators (zero atomics), cross-orientation Sum
+// reductions fall back to atomics — exactly the two disciplines of Figure 5.
+// Edge intermediates live in a register file (no DRAM traffic), which is
+// where the fusion IO savings come from; the cost model charges accordingly.
+#pragma once
+
+#include <functional>
+
+#include "graph/csr.h"
+#include "ir/edge_program.h"
+#include "tensor/tensor.h"
+
+namespace triad {
+
+/// Tensor environment the VM reads from / writes to, keyed by IR node id.
+struct VmBindings {
+  std::function<const Tensor&(int)> tensor;  ///< inputs (vertex/edge/param)
+  std::function<const IntTensor&(int)> aux;  ///< argmax auxes (MaxBwdMask)
+  std::function<Tensor&(int)> out;           ///< program outputs
+  std::function<IntTensor&(int)> out_aux;    ///< argmax aux outputs
+};
+
+/// Executes the program over `g`. Atomic-target outputs must be zero-filled
+/// by the caller beforehand. Charges PerfCounters analytically.
+void run_edge_program(const Graph& g, const EdgeProgram& ep, const VmBindings& b);
+
+}  // namespace triad

@@ -1,0 +1,73 @@
+#include "graph/generators.h"
+
+namespace triad::gen {
+
+Graph erdos_renyi(std::int64_t n, std::int64_t m, Rng& rng) {
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (std::int64_t e = 0; e < m; ++e) {
+    edges.push_back({static_cast<std::int32_t>(rng.uniform_int(n)),
+                     static_cast<std::int32_t>(rng.uniform_int(n))});
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph k_in_regular(std::int64_t n, std::int64_t k, Rng& rng) {
+  std::vector<Edge> edges;
+  edges.reserve(n * k);
+  for (std::int64_t v = 0; v < n; ++v) {
+    for (std::int64_t i = 0; i < k; ++i) {
+      edges.push_back({static_cast<std::int32_t>(rng.uniform_int(n)),
+                       static_cast<std::int32_t>(v)});
+    }
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph rmat(std::int64_t scale, std::int64_t m, Rng& rng, double a, double b,
+           double c) {
+  const std::int64_t n = std::int64_t{1} << scale;
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (std::int64_t e = 0; e < m; ++e) {
+    std::int64_t src = 0, dst = 0;
+    for (std::int64_t bit = 0; bit < scale; ++bit) {
+      const double r = rng.uniform();
+      src <<= 1;
+      dst <<= 1;
+      if (r < a) {
+        // top-left quadrant: neither bit set
+      } else if (r < a + b) {
+        dst |= 1;
+      } else if (r < a + b + c) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    edges.push_back({static_cast<std::int32_t>(src), static_cast<std::int32_t>(dst)});
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph batched(std::int64_t vertices_per_graph, std::int64_t batch,
+              const std::vector<std::vector<Edge>>& per_graph_edges) {
+  TRIAD_CHECK_EQ(static_cast<std::int64_t>(per_graph_edges.size()), batch);
+  std::vector<Edge> edges;
+  std::size_t total = 0;
+  for (const auto& g : per_graph_edges) total += g.size();
+  edges.reserve(total);
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const auto offset = static_cast<std::int32_t>(b * vertices_per_graph);
+    for (const Edge& e : per_graph_edges[b]) {
+      TRIAD_CHECK(e.src < vertices_per_graph && e.dst < vertices_per_graph,
+                  "per-graph edge out of range");
+      edges.push_back({static_cast<std::int32_t>(e.src + offset),
+                       static_cast<std::int32_t>(e.dst + offset)});
+    }
+  }
+  return Graph(vertices_per_graph * batch, std::move(edges));
+}
+
+}  // namespace triad::gen

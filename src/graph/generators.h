@@ -1,0 +1,36 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on Cora/Citeseer/Pubmed (small, near-uniform citation
+// graphs), Reddit (large, heavily skewed power-law) and ModelNet40 k-NN
+// graphs. These generators produce graphs with the matching |V|, |E| and
+// degree-shape so the computation/IO/memory ratios the paper reports are
+// exercised on the same regime (see DESIGN.md §2 for the substitution note).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+#include "support/rng.h"
+
+namespace triad::gen {
+
+/// G(n, m): m directed edges sampled uniformly, self-loops allowed.
+Graph erdos_renyi(std::int64_t n, std::int64_t m, Rng& rng);
+
+/// Every vertex receives exactly k incoming edges from uniform sources —
+/// the near-regular regime of the citation graphs.
+Graph k_in_regular(std::int64_t n, std::int64_t k, Rng& rng);
+
+/// RMAT-style power-law generator (a,b,c,d quadrant probabilities), the
+/// Reddit-like skewed regime. Duplicate edges are kept (multigraph), as
+/// sampled; the engine is agnostic to duplicates.
+Graph rmat(std::int64_t scale, std::int64_t m, Rng& rng, double a = 0.57,
+           double b = 0.19, double c = 0.19);
+
+/// Block-diagonal union of `batch` copies of identical-size sub-graphs
+/// produced by `make_edges(batch_index)` — batched point clouds.
+Graph batched(std::int64_t vertices_per_graph, std::int64_t batch,
+              const std::vector<std::vector<Edge>>& per_graph_edges);
+
+}  // namespace triad::gen

@@ -1,0 +1,38 @@
+// Exact k-nearest-neighbour graph construction for point clouds.
+//
+// EdgeConv (DGCNN) represents a point cloud as a k-NN graph: each point v
+// gets k incoming edges from its k nearest neighbours u (edge u -> v), so the
+// Gather at v reduces over its neighbourhood — the orientation DGL uses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+#include "support/rng.h"
+#include "tensor/tensor.h"
+
+namespace triad {
+
+/// Points: (n, dims) tensor. Returns the k-NN edge list (u -> v for each of
+/// v's k nearest u != v). O(n^2 d) exact search — fine at point-cloud sizes.
+std::vector<Edge> knn_edges(const Tensor& points, std::int64_t k);
+
+/// A synthetic "CAD model" point cloud: `n` points from a category-dependent
+/// mixture of spherical shells, mimicking ModelNet40's per-class shape bias.
+Tensor synthetic_point_cloud(std::int64_t n, std::int64_t dims, std::int64_t category,
+                             Rng& rng);
+
+/// Batched point-cloud dataset: `batch` clouds of `points_per_cloud` points,
+/// returning the block-diagonal k-NN graph, stacked coordinates
+/// ((batch*points) x dims) and per-cloud labels.
+struct PointCloudBatch {
+  Graph graph;
+  Tensor coords;
+  IntTensor labels;  ///< (batch, 1) category per cloud
+};
+PointCloudBatch make_point_cloud_batch(std::int64_t points_per_cloud,
+                                       std::int64_t batch, std::int64_t k,
+                                       std::int64_t num_categories, Rng& rng);
+
+}  // namespace triad

@@ -1,0 +1,98 @@
+#include "graph/reorder.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/macros.h"
+
+namespace triad {
+
+Permutation degree_ordering(const Graph& g) {
+  const std::int64_t n = g.num_vertices();
+  std::vector<std::int32_t> by_degree(n);
+  std::iota(by_degree.begin(), by_degree.end(), 0);
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&](std::int32_t a, std::int32_t b) {
+                     return g.in_degree(a) + g.out_degree(a) >
+                            g.in_degree(b) + g.out_degree(b);
+                   });
+  Permutation perm(n);
+  for (std::int64_t rank = 0; rank < n; ++rank) {
+    perm[by_degree[rank]] = static_cast<std::int32_t>(rank);
+  }
+  return perm;
+}
+
+Permutation bfs_clustering(const Graph& g) {
+  const std::int64_t n = g.num_vertices();
+  Permutation perm(n, -1);
+  std::int32_t next_id = 0;
+  std::vector<std::int32_t> queue;
+  for (std::int64_t root = 0; root < n; ++root) {
+    if (perm[root] >= 0) continue;
+    queue.clear();
+    queue.push_back(static_cast<std::int32_t>(root));
+    perm[root] = next_id++;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const std::int32_t v = queue[head];
+      // Visit both orientations so clusters follow undirected connectivity.
+      for (std::int64_t i = g.in_ptr()[v]; i < g.in_ptr()[v + 1]; ++i) {
+        const std::int32_t u = g.in_src()[i];
+        if (perm[u] < 0) {
+          perm[u] = next_id++;
+          queue.push_back(u);
+        }
+      }
+      for (std::int64_t i = g.out_ptr()[v]; i < g.out_ptr()[v + 1]; ++i) {
+        const std::int32_t u = g.out_dst()[i];
+        if (perm[u] < 0) {
+          perm[u] = next_id++;
+          queue.push_back(u);
+        }
+      }
+    }
+  }
+  return perm;
+}
+
+Graph permute_graph(const Graph& g, const Permutation& perm) {
+  TRIAD_CHECK_EQ(static_cast<std::int64_t>(perm.size()), g.num_vertices());
+  std::vector<Edge> edges(g.num_edges());
+  for (std::int64_t e = 0; e < g.num_edges(); ++e) {
+    edges[e] = {perm[g.edge_src()[e]], perm[g.edge_dst()[e]]};
+  }
+  return Graph(g.num_vertices(), std::move(edges));
+}
+
+Tensor permute_rows(const Tensor& t, const Permutation& perm) {
+  TRIAD_CHECK_EQ(static_cast<std::int64_t>(perm.size()), t.rows());
+  Tensor out(t.rows(), t.cols(), t.tag());
+  for (std::int64_t r = 0; r < t.rows(); ++r) {
+    std::copy_n(t.row(r), t.cols(), out.row(perm[r]));
+  }
+  return out;
+}
+
+IntTensor permute_rows(const IntTensor& t, const Permutation& perm) {
+  TRIAD_CHECK_EQ(static_cast<std::int64_t>(perm.size()), t.rows());
+  IntTensor out(t.rows(), t.cols());
+  for (std::int64_t r = 0; r < t.rows(); ++r) {
+    for (std::int64_t c = 0; c < t.cols(); ++c) {
+      out.at(perm[r], c) = t.at(r, c);
+    }
+  }
+  return out;
+}
+
+bool is_permutation(const Permutation& perm) {
+  std::vector<char> seen(perm.size(), 0);
+  for (std::int32_t p : perm) {
+    if (p < 0 || static_cast<std::size_t>(p) >= perm.size() || seen[p]) {
+      return false;
+    }
+    seen[p] = 1;
+  }
+  return true;
+}
+
+}  // namespace triad

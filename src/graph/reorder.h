@@ -1,0 +1,40 @@
+// Graph reordering for locality — the "GNN runtime optimization" family the
+// paper positions itself against (Section 8: GNNAdvisor uses Rabbit
+// Reordering + neighbor grouping). Provided both for completeness of the
+// substrate and for the mapping/locality ablation benchmark: reordering is
+// orthogonal to the paper's three computational-graph techniques and can be
+// stacked with them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+#include "tensor/tensor.h"
+
+namespace triad {
+
+/// A vertex permutation: new_id = perm[old_id].
+using Permutation = std::vector<std::int32_t>;
+
+/// Degree-descending ordering: hubs first — groups the heavy rows together,
+/// a cheap proxy for workload-aware scheduling.
+Permutation degree_ordering(const Graph& g);
+
+/// BFS-clustering ordering (Rabbit-lite): repeatedly BFS from the
+/// lowest-unvisited-id vertex, assigning consecutive ids within each
+/// discovered component/cluster — improves neighbour locality for
+/// vertex-balanced kernels.
+Permutation bfs_clustering(const Graph& g);
+
+/// Applies `perm` to the graph (edges relabeled, edge order preserved).
+Graph permute_graph(const Graph& g, const Permutation& perm);
+
+/// Applies `perm` to a per-vertex tensor (row i moves to row perm[i]).
+Tensor permute_rows(const Tensor& t, const Permutation& perm);
+IntTensor permute_rows(const IntTensor& t, const Permutation& perm);
+
+/// Validates that perm is a bijection on [0, n).
+bool is_permutation(const Permutation& perm);
+
+}  // namespace triad

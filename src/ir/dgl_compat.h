@@ -1,0 +1,34 @@
+// gSpMM / gSDDMM compatibility layer.
+//
+// Section 2.1 of the paper contrasts its fine-grained operator abstraction
+// with DGL's two coarse primitives:
+//   * gSDDMM: edge_out = binary_op(u_feat, v_feat)        (sampled dense-dense)
+//   * gSpMM:  vertex_out = reduce_e( binary_op(u_feat, e_feat) )
+// Both are expressible as compositions of the four basic operators — this
+// header provides them as convenience builders, demonstrating the paper's
+// claim that the fine-grained IR subsumes the DGL abstraction while exposing
+// the op boundaries the optimization passes need (e.g. the last Scatter of a
+// gSDDMM can fuse with the first Gather of the next gSpMM here, which the
+// coarse primitives cannot express).
+#pragma once
+
+#include "ir/graph.h"
+
+namespace triad::dgl {
+
+/// Elementwise binary ops supported by the compat layer.
+enum class BinaryOp { Add, Sub, Mul, Div, CopyLhs, CopyRhs, Dot };
+
+/// gSDDMM: me = op(a[u], b[v]). `b` is ignored for CopyLhs (and `a` for
+/// CopyRhs). `heads` only matters for Dot.
+int gsddmm(IrGraph& g, BinaryOp op, int u_feat, int v_feat,
+           std::int64_t heads = 1);
+
+/// gSpMM: hv = reduce({ op(a[u], me) : (u,e,v) }). `edge_feat` < 0 means
+/// copy_u (no edge operand). For the common "per-head edge scalar × source
+/// feature" pattern pass op = Mul with an edge tensor whose width equals
+/// `heads` (DGL's u_mul_e with broadcasting).
+int gspmm(IrGraph& g, BinaryOp op, ReduceFn reduce, int u_feat, int edge_feat,
+          std::int64_t heads = 1);
+
+}  // namespace triad::dgl

@@ -1,0 +1,60 @@
+#include "ir/dot.h"
+
+#include <sstream>
+
+namespace triad {
+
+namespace {
+
+const char* shape_of(const Node& n) {
+  if (n.kind == OpKind::Param) return "diamond";
+  if (n.kind == OpKind::Fused) return "box3d";
+  return n.space == Space::Edge ? "box" : "ellipse";
+}
+
+std::string label_of(const Node& n, const IrGraph& g) {
+  std::ostringstream os;
+  os << "%" << n.id << " ";
+  switch (n.kind) {
+    case OpKind::Scatter: os << to_string(n.sfn); break;
+    case OpKind::Gather:
+      os << "gather_" << to_string(n.rfn) << (n.reverse ? "_rev" : "");
+      break;
+    case OpKind::Apply: os << to_string(n.afn); break;
+    case OpKind::Special: os << to_string(n.spfn); break;
+    case OpKind::Fused:
+      os << "fused[" << g.programs[n.program].phases.size() << " phases]";
+      break;
+    case OpKind::FusedOut: os << "out" << n.out_index; break;
+    default: os << (n.name.empty() ? to_string(n.kind) : n.name);
+  }
+  if (n.kind != OpKind::Fused) os << "\\nw=" << n.cols;
+  return os.str();
+}
+
+}  // namespace
+
+std::string to_dot(const IrGraph& g, const std::string& title) {
+  std::ostringstream os;
+  os << "digraph \"" << title << "\" {\n  rankdir=TB;\n  node [fontsize=10];\n";
+  for (const Node& n : g.nodes()) {
+    os << "  n" << n.id << " [shape=" << shape_of(n) << " label=\""
+       << label_of(n, g) << "\"";
+    if (g.backward_start >= 0 && n.id >= g.backward_start) {
+      os << " color=red";
+    }
+    os << "];\n";
+  }
+  for (const Node& n : g.nodes()) {
+    for (int in : n.inputs) {
+      os << "  n" << in << " -> n" << n.id << ";\n";
+    }
+  }
+  for (int out : g.outputs) {
+    os << "  n" << out << " [penwidth=2];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace triad

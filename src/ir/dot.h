@@ -1,0 +1,16 @@
+// Graphviz DOT export of an IrGraph — for documentation and debugging of the
+// pass pipeline (the README's pipeline figures are generated from these).
+#pragma once
+
+#include <string>
+
+#include "ir/graph.h"
+
+namespace triad {
+
+/// Renders the graph in DOT. Fused nodes are shown as boxes annotated with
+/// their phase count; edges follow dataflow. Vertex-space values are drawn
+/// as ellipses, edge-space as rectangles, params as diamonds.
+std::string to_dot(const IrGraph& g, const std::string& title = "ir");
+
+}  // namespace triad

@@ -1,0 +1,67 @@
+#include "ir/edge_program.h"
+
+#include <sstream>
+
+namespace triad {
+
+const char* to_string(EPOp op) {
+  switch (op) {
+    case EPOp::LoadU: return "load_u";
+    case EPOp::LoadV: return "load_v";
+    case EPOp::LoadE: return "load_e";
+    case EPOp::LoadAcc: return "load_acc";
+    case EPOp::Add: return "add";
+    case EPOp::Sub: return "sub";
+    case EPOp::Mul: return "mul";
+    case EPOp::Div: return "div";
+    case EPOp::MulHead: return "mul_head";
+    case EPOp::DotHead: return "dot_head";
+    case EPOp::LeakyReLU: return "leaky_relu";
+    case EPOp::ReLU: return "relu";
+    case EPOp::ELU: return "elu";
+    case EPOp::Exp: return "exp";
+    case EPOp::Neg: return "neg";
+    case EPOp::Scale: return "scale";
+    case EPOp::Copy: return "copy";
+    case EPOp::LeakyReLUGrad: return "leaky_relu_grad";
+    case EPOp::ReLUGrad: return "relu_grad";
+    case EPOp::ELUGrad: return "elu_grad";
+    case EPOp::ExpGrad: return "exp_grad";
+    case EPOp::Gauss: return "gauss";
+    case EPOp::MaxBwdMask: return "max_bwd_mask";
+    case EPOp::Reduce: return "reduce";
+    case EPOp::StoreE: return "store_e";
+  }
+  return "?";
+}
+
+std::string EdgeProgram::dump() const {
+  std::ostringstream os;
+  os << "EdgeProgram mapping="
+     << (mapping == WorkMapping::VertexBalanced ? "vertex" : "edge")
+     << " orient=" << (dst_major ? "dst" : "src") << " regs=" << num_regs << "\n";
+  for (std::size_t p = 0; p < phases.size(); ++p) {
+    os << " phase " << p << ":\n";
+    for (const EPInstr& in : phases[p].instrs) {
+      os << "   ";
+      if (in.dst >= 0) os << "r" << in.dst << " = ";
+      os << to_string(in.op);
+      if (in.a >= 0) os << " r" << in.a;
+      if (in.b >= 0) os << " r" << in.b;
+      if (in.tensor >= 0) os << " %" << in.tensor;
+      if (in.op == EPOp::Reduce) os << " -> acc" << in.acc;
+      os << " (w=" << in.width << ")\n";
+    }
+  }
+  for (const VertexOutput& vo : vertex_outputs) {
+    os << " vout %" << vo.node << " rfn=" << int(vo.rfn) << " w=" << vo.width
+       << " phase=" << vo.phase << (vo.reverse ? " rev" : "")
+       << (vo.atomic ? " atomic" : "") << "\n";
+  }
+  for (const EdgeOutput& eo : edge_outputs) {
+    os << " eout %" << eo.node << " w=" << eo.width << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace triad

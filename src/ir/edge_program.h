@@ -1,0 +1,92 @@
+// EdgeProgram: the compiled form of a fused region (Section 5 of the paper).
+//
+// A fused kernel walks the graph once per phase in a single thread-mapping
+// discipline and evaluates a small per-edge register program. Phases exist
+// because a ReduceScatter needs a completed per-vertex reduction before its
+// Scatter half can run (edge-softmax: max -> sum -> normalize = 3 phases).
+// Each phase's instruction list is self-contained — cheap edge expressions
+// are *recomputed in registers* across phases rather than buffered, exactly
+// the paper's recomputation-over-materialization trade (Section 6), so phases
+// communicate only through per-vertex reduction results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace triad {
+
+/// Thread-mapping discipline of a fused kernel (Figure 5 of the paper).
+enum class WorkMapping : std::uint8_t {
+  VertexBalanced,  ///< worker per destination vertex, sequential reduce
+  EdgeBalanced,    ///< worker per edge, atomic cross-thread reduce
+};
+
+enum class EPOp : std::uint8_t {
+  LoadU,     ///< reg = vertex_tensor[src(e)]
+  LoadV,     ///< reg = vertex_tensor[dst(e)]
+  LoadE,     ///< reg = edge_tensor[e]
+  LoadAcc,   ///< reg = earlier-phase reduction value at this worker's vertex
+  // elementwise (operands a, b are registers)
+  Add, Sub, Mul, Div,
+  MulHead,   ///< a: (heads*f), b: (heads) -> (heads*f)
+  DotHead,   ///< a, b: (heads*f) -> (heads)
+  LeakyReLU, ReLU, ELU, Exp, Neg, Scale, Copy,
+  LeakyReLUGrad, ReLUGrad, ELUGrad, ExpGrad,
+  Gauss,          ///< MoNet weights; a = pseudo reg, params via tensor ids
+  MaxBwdMask,     ///< reg = (e == argmax[v]) ? a : 0 (per column)
+  Reduce,         ///< accumulate reg a into vertex accumulator `acc`
+  StoreE,         ///< edge_tensor[e] = reg a (materialize an edge output)
+};
+
+const char* to_string(EPOp op);
+
+/// One VM instruction. Register-based; `width` is the per-edge vector length
+/// the destination register holds.
+struct EPInstr {
+  EPOp op;
+  int dst = -1;        ///< destination register (-1 for Reduce/StoreE)
+  int a = -1, b = -1;  ///< operand registers
+  int tensor = -1;     ///< IR node id for Load*/StoreE/MaxBwdMask(aux)/Gauss(mu)
+  int tensor2 = -1;    ///< second node id (Gauss sigma)
+  int acc = -1;        ///< Reduce: index into EdgeProgram::vertex_outputs
+  float alpha = 0.f;
+  std::int64_t heads = 1;
+  std::int64_t width = 0;
+};
+
+/// A per-vertex reduction produced by the program.
+struct VertexOutput {
+  int node = -1;           ///< FusedOut node id that receives the tensor
+  std::uint8_t rfn = 0;    ///< ReduceFn as int (Sum/Max/Mean)
+  std::int64_t width = 0;
+  int phase = 0;           ///< phase whose edge loop feeds this reduction
+  bool reverse = false;    ///< reduce-to-src instead of reduce-to-dst
+  bool atomic = false;     ///< cross-orientation: accumulate atomically
+  bool track_argmax = false;  ///< Max: also produce the winning edge id aux
+};
+
+/// An edge tensor materialized by StoreE (fusion-without-recompute stashing).
+struct EdgeOutput {
+  int node = -1;
+  std::int64_t width = 0;
+};
+
+struct EPPhase {
+  std::vector<EPInstr> instrs;
+};
+
+struct EdgeProgram {
+  WorkMapping mapping = WorkMapping::VertexBalanced;
+  /// Primary orientation: true = loop destinations/incoming edges (CSR).
+  bool dst_major = true;
+  std::vector<EPPhase> phases;
+  std::vector<VertexOutput> vertex_outputs;
+  std::vector<EdgeOutput> edge_outputs;
+  int num_regs = 0;
+  std::vector<std::int64_t> reg_width;
+
+  std::string dump() const;
+};
+
+}  // namespace triad

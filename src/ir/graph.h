@@ -1,0 +1,185 @@
+// The GNN operator IR.
+//
+// A model (forward and backward pass) is a DAG of the paper's four basic
+// operators — Scatter, Gather, ApplyEdge, ApplyVertex (Section 2.1) — plus a
+// few "Special" composite kernels (built-in fused edge-softmax as DGL ships
+// it, Gaussian mixture weights for MoNet, the argmax-routed backward of a max
+// Gather) and, after FusionPass, Fused nodes that execute a multi-phase
+// EdgeProgram.
+//
+// Node ids are topologically ordered by construction: builder methods only
+// append, and passes rebuild graphs front-to-back.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/edge_program.h"
+#include "support/macros.h"
+
+namespace triad {
+
+/// Where a feature tensor lives: one row per vertex, per edge, or a
+/// graph-independent parameter/global tensor.
+enum class Space : std::uint8_t { Vertex, Edge, Param };
+
+enum class OpKind : std::uint8_t {
+  Input,     ///< externally provided tensor (features, labels-as-grad, …)
+  Param,     ///< learnable weight
+  Scatter,   ///< edge feature from endpoint vertex features
+  Gather,    ///< vertex feature reducing incident edge features
+  Apply,     ///< graph-irrelevant transform (ApplyEdge / ApplyVertex by space)
+  Special,   ///< composite kernels (edge-softmax, gaussian, max-backward, …)
+  Fused,     ///< a compiled EdgeProgram (see FusionPass)
+  FusedOut,  ///< one named output of a Fused node
+};
+
+/// Binary function of a Scatter: me = sfn(a[u], b[v]).
+enum class ScatterFn : std::uint8_t {
+  CopyU,     ///< me = a[u]
+  CopyV,     ///< me = a[v]
+  AddUV,     ///< me = a[u] + b[v]
+  SubUV,     ///< me = a[u] - b[v]
+  MulUV,     ///< me = a[u] * b[v]
+  ConcatUV,  ///< me = [a[u] ‖ b[v]]
+  DotUV,     ///< me = <a[u], b[v]> per head
+};
+
+enum class ReduceFn : std::uint8_t { Sum, Max, Mean };
+
+/// Graph-irrelevant applies. The *Grad entries only appear in backward
+/// graphs, emitted by autodiff; they never need their own gradients.
+enum class ApplyFn : std::uint8_t {
+  Linear,    ///< x · W[wrow_lo:wrow_hi, :]; the only "expensive" Apply
+  Bias,      ///< x + b (row vector)
+  LeakyReLU,
+  ReLU,
+  ELU,
+  Exp,
+  Neg,
+  Scale,     ///< alpha * x
+  Identity,
+  Add,
+  Sub,
+  Mul,
+  Div,
+  MulHead,   ///< per-head scalar × feature block (see ops::mul_head)
+  DotHead,   ///< per-head dot product (see ops::dot_head)
+  HeadSum,   ///< (r, K*f) -> (r, f): alpha * sum over heads (MoNet 1/K mix)
+  HeadBroadcast,  ///< (r, f) -> (r, K*f): alpha * replicate across heads
+  SliceCols,
+  // --- gradient-only ---
+  LinearWGrad,  ///< W-grad = xᵀ · grad, into W[wrow_lo:wrow_hi, :]
+  LinearXGrad,  ///< x-grad = grad · W[wrow_lo:wrow_hi, :]ᵀ
+  BiasGrad,     ///< column sums
+  LeakyReLUGrad,
+  ReLUGrad,
+  ELUGrad,
+  ExpGrad,      ///< grad * y (forward output)
+};
+
+enum class SpecialFn : std::uint8_t {
+  EdgeSoftmax,       ///< DGL-style built-in fused softmax over incoming edges
+  EdgeSoftmaxGrad,   ///< its backward (inputs: grad, softmax output)
+  GatherMaxBwd,      ///< routes vertex grads to argmax edges of a Max Gather
+  DegreeInv,         ///< (|V|,1) tensor of 1/in-degree (Mean backward)
+  Gaussian,          ///< MoNet mixture weights w_k(e) (inputs: pseudo, mu, sigma)
+  GaussianGradMu,    ///< (inputs: grad, pseudo, mu, sigma, w)
+  GaussianGradSigma, ///< (inputs: grad, pseudo, mu, sigma, w)
+};
+
+const char* to_string(OpKind k);
+const char* to_string(ScatterFn f);
+const char* to_string(ReduceFn f);
+const char* to_string(ApplyFn f);
+const char* to_string(SpecialFn f);
+
+struct Node {
+  int id = -1;
+  OpKind kind = OpKind::Input;
+  Space space = Space::Vertex;
+  std::int64_t rows = 0;  ///< |V|, |E| or param rows
+  std::int64_t cols = 0;
+  std::vector<int> inputs;
+
+  ScatterFn sfn = ScatterFn::CopyU;
+  ReduceFn rfn = ReduceFn::Sum;
+  ApplyFn afn = ApplyFn::Identity;
+  SpecialFn spfn = SpecialFn::EdgeSoftmax;
+
+  /// Gather orientation: false = reduce incoming edges to dst (default),
+  /// true = reduce outgoing edges to src (appears in backward graphs).
+  bool reverse = false;
+  float alpha = 0.f;          ///< LeakyReLU slope / ELU alpha / Scale factor
+  std::int64_t heads = 1;     ///< MulHead / DotHead / DotUV
+  std::int64_t wrow_lo = 0;   ///< Linear weight row window (reorg splits
+  std::int64_t wrow_hi = 0;   ///< a concat-weight without copying; 0,0=full)
+  std::int64_t slice_lo = 0, slice_hi = 0;
+
+  bool requires_grad = false;
+  std::string name;
+
+  int program = -1;    ///< Fused: index into IrGraph::programs
+  int out_index = -1;  ///< FusedOut: which program output
+
+  bool is_expensive() const {
+    return kind == OpKind::Apply &&
+           (afn == ApplyFn::Linear || afn == ApplyFn::LinearWGrad ||
+            afn == ApplyFn::LinearXGrad);
+  }
+};
+
+/// The computational graph. `backward_start` (if >= 0) is the first node id
+/// belonging to the backward pass — used to classify stash tensors.
+class IrGraph {
+ public:
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const Node& node(int id) const { return nodes_.at(id); }
+  Node& node_mut(int id) { return nodes_.at(id); }
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+  std::vector<EdgeProgram> programs;
+  std::vector<int> outputs;  ///< ids whose tensors must survive execution
+  int backward_start = -1;
+
+  // --- builder methods (return the new node's id) -------------------------
+  int input(Space space, std::int64_t rows, std::int64_t cols,
+            const std::string& name);
+  int param(std::int64_t rows, std::int64_t cols, const std::string& name);
+
+  int scatter(ScatterFn fn, int a, int b, const std::string& name = "",
+              std::int64_t heads = 1);
+  int gather(ReduceFn fn, int edge_in, bool reverse = false,
+             const std::string& name = "");
+  int apply_unary(ApplyFn fn, int x, float alpha = 0.f,
+                  const std::string& name = "");
+  /// HeadSum / HeadBroadcast with explicit head count and scale.
+  int apply_head(ApplyFn fn, int x, std::int64_t heads, float alpha,
+                 const std::string& name = "");
+  int apply_binary(ApplyFn fn, int a, int b, const std::string& name = "",
+                   std::int64_t heads = 1);
+  int linear(int x, int w, std::int64_t wrow_lo = 0, std::int64_t wrow_hi = 0,
+             const std::string& name = "");
+  int bias(int x, int b, const std::string& name = "");
+  int slice_cols(int x, std::int64_t lo, std::int64_t hi,
+                 const std::string& name = "");
+  int special(SpecialFn fn, std::vector<int> inputs, std::int64_t rows,
+              std::int64_t cols, Space space, const std::string& name = "");
+
+  /// Raw append for passes that construct nodes directly.
+  int append(Node n);
+
+  void mark_output(int id) { outputs.push_back(id); }
+
+  /// Multi-line human dump (tests / debugging).
+  std::string dump() const;
+
+  /// Validates topological order, shapes and space rules; throws on error.
+  void validate(std::int64_t num_vertices, std::int64_t num_edges) const;
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+}  // namespace triad

@@ -1,0 +1,47 @@
+// Unified-thread-mapping operator fusion (Section 5 of the paper).
+//
+// Chains of graph-related operators (Scatter, lightweight ApplyEdge, Gather —
+// and hence the composite ReduceScatter / Aggregate) are compiled into one
+// EdgeProgram per fused region, executed by the VM as a single kernel. This
+// is possible precisely because thread mapping is decoupled from operator
+// type: the whole region runs under one mapping, so edge intermediates stay
+// in registers instead of a round trip through DRAM.
+//
+// Legality rules implemented here (matching the paper):
+//  * expensive Apply- (Linear) never fuses — cuBLAS territory;
+//  * a ReduceScatter (a Gather whose value feeds edge ops in the same region)
+//    forces vertex-balanced mapping — the intermediate vertex value lives in
+//    the per-vertex scratch ("shared memory");
+//  * reductions of the opposite orientation run as atomics (Figure 5(d));
+//  * edge-balanced mapping is only legal for single-phase, Sum-only programs.
+//
+// Modes:
+//  * Unified  — the paper's contribution: fuse across vertex/edge boundary.
+//  * EdgeOnly — fuseGNN's capability: only edge-centric ops fuse; every value
+//               a Gather consumes is still materialized.
+#pragma once
+
+#include "ir/edge_program.h"
+#include "ir/graph.h"
+
+namespace triad {
+
+enum class FusionMode { None, EdgeOnly, Unified };
+
+struct FusionOptions {
+  FusionMode mode = FusionMode::Unified;
+  /// Preferred mapping when both are legal for a region.
+  WorkMapping preferred = WorkMapping::VertexBalanced;
+};
+
+struct FusionStats {
+  int regions = 0;
+  int fused_nodes = 0;
+  int edge_tensors_eliminated = 0;  ///< edge intermediates kept in registers
+  int edge_tensors_stored = 0;      ///< StoreE (consumed outside the region)
+};
+
+IrGraph fusion_pass(const IrGraph& in, const FusionOptions& opts = {},
+                    FusionStats* stats = nullptr);
+
+}  // namespace triad

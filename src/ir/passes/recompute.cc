@@ -1,0 +1,117 @@
+#include "ir/passes/recompute.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace triad {
+
+namespace {
+
+/// Is this node cheap enough to replay per element inside the backward pass?
+bool is_lightweight_edge_op(const Node& n) {
+  if (n.space != Space::Edge) return false;
+  switch (n.kind) {
+    case OpKind::Scatter:
+      return n.sfn != ScatterFn::ConcatUV;  // concat duplicates O(f) copies
+    case OpKind::Apply:
+      return !n.is_expensive();
+    case OpKind::Special:
+      return n.spfn == SpecialFn::Gaussian;
+    default:
+      return false;
+  }
+}
+
+/// Recompute frontier: nodes the clone reads instead of re-deriving.
+bool is_checkpoint(const Node& n) {
+  return n.kind == OpKind::Input || n.kind == OpKind::Param ||
+         n.space == Space::Vertex;
+}
+
+/// Per-element cost of recomputing `id` from checkpoints; -1 if not eligible.
+int recompute_cost(const IrGraph& g, int id, int budget) {
+  const Node& n = g.node(id);
+  if (is_checkpoint(n)) return 0;
+  if (!is_lightweight_edge_op(n)) return -1;
+  int cost = 1;
+  for (int in : n.inputs) {
+    if (cost > budget) return -1;
+    const int sub = recompute_cost(g, in, budget - cost);
+    if (sub < 0) return -1;
+    cost += sub;
+  }
+  return cost <= budget ? cost : -1;
+}
+
+}  // namespace
+
+IrGraph recompute_pass(const IrGraph& in, const RecomputeOptions& opts,
+                       RecomputeStats* stats) {
+  TRIAD_CHECK_GE(in.backward_start, 0, "recompute_pass requires a backward pass");
+
+  // Which forward edge-space nodes are referenced from the backward pass and
+  // eligible for recomputation?
+  std::vector<char> eligible(in.size(), 0);
+  for (const Node& n : in.nodes()) {
+    if (n.id < in.backward_start) continue;
+    for (int i : n.inputs) {
+      if (i >= in.backward_start) continue;
+      const Node& producer = in.node(i);
+      if (producer.space != Space::Edge) continue;
+      // GatherMaxBwd's second input is the forward gather (vertex-space), so
+      // edge inputs here are genuine stash candidates.
+      if (recompute_cost(in, i, opts.max_ops_per_element) >= 0) {
+        eligible[i] = 1;
+      }
+    }
+  }
+
+  IrGraph out;
+  out.programs = in.programs;
+  std::vector<int> remap(in.size(), -1);
+  // Clones created on the backward side, keyed by forward node id.
+  std::unordered_map<int, int> clone_of;
+
+  // Recursively materialize a backward-side clone of forward node `id`.
+  auto clone = [&](auto&& self, int id) -> int {
+    const Node& n = in.node(id);
+    if (is_checkpoint(n)) return remap[id];
+    auto it = clone_of.find(id);
+    if (it != clone_of.end()) return it->second;
+    Node c = n;
+    c.inputs.clear();
+    for (int i : n.inputs) c.inputs.push_back(self(self, i));
+    c.name = "recompute:" + n.name;
+    const int nid = out.append(std::move(c));
+    clone_of.emplace(id, nid);
+    if (stats != nullptr) ++stats->cloned_nodes;
+    return nid;
+  };
+
+  for (const Node& n : in.nodes()) {
+    Node copy = n;
+    copy.inputs.clear();
+    const bool backward = in.backward_start >= 0 && n.id >= in.backward_start;
+    for (int i : n.inputs) {
+      if (backward && i < in.backward_start && eligible[i]) {
+        copy.inputs.push_back(clone(clone, i));
+      } else {
+        TRIAD_CHECK_GE(remap[i], 0, "recompute remap hole");
+        copy.inputs.push_back(remap[i]);
+      }
+    }
+    remap[n.id] = out.append(std::move(copy));
+    if (n.id == in.backward_start) out.backward_start = remap[n.id];
+  }
+
+  if (stats != nullptr) {
+    for (int i = 0; i < in.size(); ++i) {
+      if (eligible[i]) ++stats->recomputed_nodes;
+    }
+  }
+
+  for (int o : in.outputs) out.mark_output(remap[o]);
+  return out;
+}
+
+}  // namespace triad

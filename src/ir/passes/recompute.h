@@ -1,0 +1,34 @@
+// Intermediate-data recomputation for training (Section 6 of the paper).
+//
+// After autodiff, backward nodes reference forward intermediates, which pins
+// them in memory across the whole forward pass ("stash"). For an O(|E|)
+// edge-space intermediate whose producing expression costs O(1) per element
+// from vertex-space checkpoints (the paper's ComputationCost/MemoryCost
+// criterion), this pass clones the producing subgraph to just before its
+// first backward use and rewires backward consumers to the clone. The clone
+// terminates at vertex-space / input / param nodes — those O(|V|) tensors are
+// the checkpoints that remain stashed (e.g. edge-softmax max + denominator).
+// Combined with FusionPass (which runs after and fuses the clones into the
+// backward fused kernels), the O(|E|) intermediates vanish from the whole
+// training step — the paper's fusion-recomputation combo.
+#pragma once
+
+#include "ir/graph.h"
+
+namespace triad {
+
+struct RecomputeStats {
+  int recomputed_nodes = 0;   ///< forward edge intermediates no longer stashed
+  int cloned_nodes = 0;       ///< nodes inserted into the backward pass
+};
+
+struct RecomputeOptions {
+  /// Maximum per-element operation count of a recomputable expression
+  /// (the O(1) threshold).
+  int max_ops_per_element = 8;
+};
+
+IrGraph recompute_pass(const IrGraph& in, const RecomputeOptions& opts = {},
+                       RecomputeStats* stats = nullptr);
+
+}  // namespace triad

@@ -1,0 +1,128 @@
+#include "ir/passes/reorg.h"
+
+#include <vector>
+
+namespace triad {
+
+namespace {
+
+bool scatter_distributes(ScatterFn fn) {
+  switch (fn) {
+    case ScatterFn::AddUV:
+    case ScatterFn::SubUV:
+    case ScatterFn::CopyU:
+    case ScatterFn::CopyV:
+    case ScatterFn::ConcatUV:
+      return true;
+    default:
+      return false;  // MulUV / DotUV do not distribute over a linear map
+  }
+}
+
+}  // namespace
+
+IrGraph reorg_pass(const IrGraph& in, ReorgStats* stats) {
+  TRIAD_CHECK(in.backward_start < 0, "reorg must run before autodiff");
+
+  // Consumer counts: the Scatter may only be absorbed when the Linear is its
+  // sole consumer (otherwise the edge tensor is needed anyway).
+  std::vector<int> consumers(in.size(), 0);
+  for (const Node& n : in.nodes()) {
+    for (int i : n.inputs) ++consumers[i];
+  }
+
+  IrGraph out;
+  out.programs = in.programs;
+  std::vector<int> remap(in.size(), -1);
+  std::vector<char> absorbed(in.size(), 0);
+
+  for (const Node& n : in.nodes()) {
+    if (absorbed[n.id]) continue;
+
+    // Pattern: Linear whose input is a distributive single-consumer Scatter.
+    if (n.kind == OpKind::Apply && n.afn == ApplyFn::Linear) {
+      const Node& s = in.node(n.inputs[0]);
+      if (s.kind == OpKind::Scatter && scatter_distributes(s.sfn) &&
+          consumers[s.id] == 1 && s.space == Space::Edge) {
+        const int w = remap[n.inputs[1]];
+        const std::int64_t lo = n.wrow_lo;
+        const std::int64_t hi = n.wrow_hi == 0 ? in.node(n.inputs[1]).rows : n.wrow_hi;
+        int replacement = -1;
+        switch (s.sfn) {
+          case ScatterFn::CopyU:
+          case ScatterFn::CopyV: {
+            const int t = out.linear(remap[s.inputs[0]], w, lo, hi,
+                                     "reorg:" + n.name);
+            replacement = out.scatter(s.sfn, t, -1, s.name);
+            break;
+          }
+          case ScatterFn::AddUV:
+          case ScatterFn::SubUV: {
+            const int ta = out.linear(remap[s.inputs[0]], w, lo, hi,
+                                      "reorg_u:" + n.name);
+            const int tb = s.inputs[0] == s.inputs[1]
+                               ? ta
+                               : out.linear(remap[s.inputs[1]], w, lo, hi,
+                                            "reorg_v:" + n.name);
+            replacement = out.scatter(s.sfn, ta, tb, s.name);
+            break;
+          }
+          case ScatterFn::ConcatUV: {
+            // Split the weight row-window at the concat seam.
+            const std::int64_t fa = in.node(s.inputs[0]).cols;
+            const int ta = out.linear(remap[s.inputs[0]], w, lo, lo + fa,
+                                      "reorg_l:" + n.name);
+            const int tb = out.linear(remap[s.inputs[1]], w, lo + fa, hi,
+                                      "reorg_r:" + n.name);
+            replacement = out.scatter(ScatterFn::AddUV, ta, tb, s.name);
+            break;
+          }
+          default:
+            TRIAD_UNREACHABLE("filtered by scatter_distributes");
+        }
+        absorbed[s.id] = 1;  // already emitted nothing for it; mark anyway
+        remap[n.id] = replacement;
+        if (stats != nullptr) ++stats->rewrites;
+        continue;
+      }
+    }
+
+    // Default: structural copy with remapped inputs. Scatters that a later
+    // Linear will absorb must still be skipped here — detect lookahead.
+    if (n.kind == OpKind::Scatter && scatter_distributes(n.sfn) &&
+        consumers[n.id] == 1) {
+      // Find the single consumer; if it is a Linear, defer to the rewrite.
+      bool deferred = false;
+      for (const Node& c : in.nodes()) {
+        if (c.id <= n.id) continue;
+        for (int ci : c.inputs) {
+          if (ci == n.id && c.kind == OpKind::Apply && c.afn == ApplyFn::Linear &&
+              c.inputs[0] == n.id) {
+            deferred = true;
+          }
+        }
+        if (deferred) break;
+      }
+      if (deferred) {
+        absorbed[n.id] = 1;
+        continue;
+      }
+    }
+
+    Node copy = n;
+    copy.inputs.clear();
+    for (int i : n.inputs) {
+      TRIAD_CHECK_GE(remap[i], 0, "reorg remap hole at %" << i);
+      copy.inputs.push_back(remap[i]);
+    }
+    remap[n.id] = out.append(std::move(copy));
+  }
+
+  for (int o : in.outputs) {
+    TRIAD_CHECK_GE(remap[o], 0, "reorg dropped an output");
+    out.mark_output(remap[o]);
+  }
+  return out;
+}
+
+}  // namespace triad

@@ -1,0 +1,29 @@
+// Propagation-postponed operator reorganization (Section 4 of the paper).
+//
+// When an expensive ApplyEdge φ (linear projection) follows a Scatter g and
+// φ distributes over g, the pair is rewritten so φ runs on vertex features
+// (O(|V|) applications) and the Scatter propagates the projected values
+// (φ(g(u,v)) = g(φ(u),φ(v))). Three concrete rules:
+//
+//   1. Linear ∘ {AddUV, SubUV}  →  {AddUV, SubUV} ∘ Linear   (distributivity)
+//   2. Linear ∘ {CopyU, CopyV}  →  {CopyU, CopyV} ∘ Linear   (commutation)
+//   3. Linear ∘ ConcatUV        →  AddUV(Linear_left, Linear_right)
+//      where the two Linears address disjoint row-windows of the original
+//      weight (the paper's aᵀ[hu‖hv] = aLᵀhu + aRᵀhv identity for GAT) — the
+//      weight tensor is shared, so gradients keep accumulating into one param.
+//
+// Must run on the forward-only graph (before autodiff).
+#pragma once
+
+#include "ir/graph.h"
+
+namespace triad {
+
+struct ReorgStats {
+  int rewrites = 0;
+};
+
+/// Returns a rewritten copy of `in`.
+IrGraph reorg_pass(const IrGraph& in, ReorgStats* stats = nullptr);
+
+}  // namespace triad

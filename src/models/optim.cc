@@ -1,0 +1,74 @@
+#include "models/optim.h"
+
+#include <cmath>
+
+#include "support/macros.h"
+
+namespace triad {
+
+void Sgd::attach(const std::vector<Tensor>& params) {
+  if (momentum_ == 0.f) return;
+  velocity_.clear();
+  velocity_.reserve(params.size());
+  for (const Tensor& p : params) {
+    velocity_.push_back(Tensor::zeros(p.rows(), p.cols(), MemTag::kWeights));
+  }
+}
+
+void Sgd::step(std::vector<Tensor>& params,
+               const std::vector<const Tensor*>& grads) {
+  TRIAD_CHECK_EQ(params.size(), grads.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    float* p = params[i].data();
+    const float* g = grads[i]->data();
+    const std::int64_t n = params[i].numel();
+    TRIAD_CHECK_EQ(n, grads[i]->numel(), "grad shape for param " << i);
+    if (momentum_ == 0.f) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        p[j] -= lr_ * (g[j] + weight_decay_ * p[j]);
+      }
+    } else {
+      float* vel = velocity_[i].data();
+      for (std::int64_t j = 0; j < n; ++j) {
+        vel[j] = momentum_ * vel[j] + g[j] + weight_decay_ * p[j];
+        p[j] -= lr_ * vel[j];
+      }
+    }
+  }
+}
+
+void Adam::attach(const std::vector<Tensor>& params) {
+  m_.clear();
+  v_.clear();
+  t_ = 0;
+  for (const Tensor& p : params) {
+    m_.push_back(Tensor::zeros(p.rows(), p.cols(), MemTag::kWeights));
+    v_.push_back(Tensor::zeros(p.rows(), p.cols(), MemTag::kWeights));
+  }
+}
+
+void Adam::step(std::vector<Tensor>& params,
+                const std::vector<const Tensor*>& grads) {
+  TRIAD_CHECK_EQ(params.size(), grads.size());
+  TRIAD_CHECK_EQ(params.size(), m_.size(), "attach() before step()");
+  ++t_;
+  const float bc1 = 1.f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    float* p = params[i].data();
+    const float* g = grads[i]->data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const std::int64_t n = params[i].numel();
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float grad = g[j] + weight_decay_ * p[j];
+      m[j] = beta1_ * m[j] + (1.f - beta1_) * grad;
+      v[j] = beta2_ * v[j] + (1.f - beta2_) * grad * grad;
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      p[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace triad

@@ -1,0 +1,58 @@
+// Optimizers for the training harness.
+//
+// The paper's end-to-end numbers are training-step times; the optimizer is
+// deliberately simple (the paper uses whatever DGL's examples use — the
+// update cost is negligible next to the graph kernels), but both plain/
+// momentum SGD and Adam are provided so the examples can converge properly.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace triad {
+
+/// Interface: step() applies one update given aligned params and grads.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Called once with the parameter list before the first step.
+  virtual void attach(const std::vector<Tensor>& params) = 0;
+  virtual void step(std::vector<Tensor>& params,
+                    const std::vector<const Tensor*>& grads) = 0;
+};
+
+/// SGD with optional momentum and weight decay.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(float lr, float momentum = 0.f, float weight_decay = 0.f)
+      : lr_(lr), momentum_(momentum), weight_decay_(weight_decay) {}
+  void attach(const std::vector<Tensor>& params) override;
+  void step(std::vector<Tensor>& params,
+            const std::vector<const Tensor*>& grads) override;
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_, momentum_, weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                float eps = 1e-8f, float weight_decay = 0.f)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps),
+        weight_decay_(weight_decay) {}
+  void attach(const std::vector<Tensor>& params) override;
+  void step(std::vector<Tensor>& params,
+            const std::vector<const Tensor*>& grads) override;
+
+ private:
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  std::int64_t t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+}  // namespace triad

@@ -1,0 +1,86 @@
+#include "models/trainer.h"
+
+#include "support/timer.h"
+#include "tensor/ops.h"
+
+namespace triad {
+
+Trainer::Trainer(Compiled model, const Graph& graph, Tensor features,
+                 Tensor pseudo, MemoryPool* pool)
+    : model_(std::move(model)), exec_(graph, model_.ir, pool) {
+  exec_.bind(model_.features, std::move(features));
+  if (model_.pseudo >= 0) {
+    TRIAD_CHECK(pseudo.defined(), "model expects pseudo-coordinates");
+    exec_.bind(model_.pseudo, std::move(pseudo));
+  }
+  weights_.reserve(model_.params.size());
+  for (std::size_t i = 0; i < model_.params.size(); ++i) {
+    weights_.push_back(model_.init[i].clone(MemTag::kWeights, pool));
+    exec_.bind(model_.params[i], weights_.back());
+  }
+}
+
+StepMetrics Trainer::train_step(const IntTensor& labels, float lr) {
+  TRIAD_CHECK_GE(model_.seed, 0, "model was compiled for inference only");
+  StepMetrics m;
+  exec_.pool().reset_peak();
+  CounterScope scope;
+  Timer timer;
+
+  exec_.run_forward();
+  const Tensor& out = exec_.result(model_.output);
+  Tensor seed(out.rows(), out.cols(), MemTag::kGradient, &exec_.pool());
+  m.loss = ops::softmax_cross_entropy(out, labels, &seed);
+  exec_.bind(model_.seed, std::move(seed));
+  exec_.run_backward();
+
+  if (optimizer_ != nullptr) {
+    std::vector<const Tensor*> grads;
+    grads.reserve(weights_.size());
+    for (int gnode : model_.param_grads) grads.push_back(&exec_.result(gnode));
+    optimizer_->step(weights_, grads);
+  } else {
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+      ops::axpy(weights_[i], exec_.result(model_.param_grads[i]), -lr);
+    }
+  }
+
+  m.seconds = timer.seconds();
+  m.counters = scope.delta();
+  m.peak_bytes = exec_.pool().peak_bytes();
+  return m;
+}
+
+StepMetrics Trainer::forward(const IntTensor& labels) {
+  StepMetrics m;
+  exec_.pool().reset_peak();
+  CounterScope scope;
+  Timer timer;
+  exec_.run_forward();
+  const Tensor& out = exec_.result(model_.output);
+  // Headless ablation models (classify_last=false) emit embeddings, not
+  // logits; loss is undefined there and irrelevant to forward-only timing.
+  std::int32_t max_label = 0;
+  for (std::int64_t r = 0; r < labels.rows(); ++r) {
+    max_label = std::max(max_label, labels.at(r, 0));
+  }
+  if (max_label < out.cols()) {
+    m.loss = ops::softmax_cross_entropy(out, labels, nullptr);
+  }
+  m.seconds = timer.seconds();
+  m.counters = scope.delta();
+  m.peak_bytes = exec_.pool().peak_bytes();
+  return m;
+}
+
+void Trainer::set_optimizer(std::unique_ptr<Optimizer> opt) {
+  optimizer_ = std::move(opt);
+  if (optimizer_ != nullptr) optimizer_->attach(weights_);
+}
+
+float Trainer::evaluate(const IntTensor& labels) {
+  exec_.run_forward();
+  return ops::accuracy(exec_.result(model_.output), labels);
+}
+
+}  // namespace triad

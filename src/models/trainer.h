@@ -1,0 +1,61 @@
+// Training / inference harness over a Compiled model.
+//
+// Full-batch training with softmax cross-entropy and SGD, the regime the
+// paper's end-to-end numbers measure. The Trainer owns the Executor and the
+// parameter tensors; per-step metrics (wall time, counters delta, peak
+// memory) feed the benchmark harness directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include <memory>
+
+#include "baselines/strategy.h"
+#include "engine/executor.h"
+#include "models/optim.h"
+#include "graph/csr.h"
+#include "support/counters.h"
+#include "tensor/tensor.h"
+
+namespace triad {
+
+struct StepMetrics {
+  float loss = 0.f;
+  double seconds = 0.0;
+  PerfCounters counters;       ///< delta for this step
+  std::size_t peak_bytes = 0;  ///< pool peak observed during the step
+};
+
+class Trainer {
+ public:
+  /// Binds features (and pseudo-coords when the model uses them) and clones
+  /// the initial parameters into pool-tracked weight tensors.
+  Trainer(Compiled model, const Graph& graph, Tensor features,
+          Tensor pseudo = {}, MemoryPool* pool = &global_pool_mem());
+
+  /// One full-batch training step (forward + loss + backward + SGD update).
+  StepMetrics train_step(const IntTensor& labels, float lr = 1e-2f);
+
+  /// Installs an optimizer; subsequent train_step calls use it instead of
+  /// the plain-SGD default (the lr argument is then ignored).
+  void set_optimizer(std::unique_ptr<Optimizer> opt);
+
+  /// Forward only; returns loss (no update).
+  StepMetrics forward(const IntTensor& labels);
+
+  /// Classification accuracy of the current parameters.
+  float evaluate(const IntTensor& labels);
+
+  const Tensor& logits() const { return exec_.result(model_.output); }
+  Executor& executor() { return exec_; }
+  const Compiled& model() const { return model_; }
+
+ private:
+  Compiled model_;
+  Executor exec_;
+  std::vector<Tensor> weights_;  // persistent parameter tensors
+  std::unique_ptr<Optimizer> optimizer_;
+};
+
+}  // namespace triad

@@ -1,0 +1,47 @@
+#include "support/counters.h"
+
+#include <array>
+#include <cstdio>
+
+namespace triad {
+
+PerfCounters& global_counters() {
+  static PerfCounters counters;
+  return counters;
+}
+
+std::string human_bytes(std::uint64_t bytes) {
+  static const std::array<const char*, 5> units = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  std::size_t u = 0;
+  while (v >= 1024.0 && u + 1 < units.size()) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.2f %s", v, units[u]);
+  return buf;
+}
+
+std::string human_count(std::uint64_t n) {
+  static const std::array<const char*, 4> units = {"", "K", "M", "G"};
+  double v = static_cast<double>(n);
+  std::size_t u = 0;
+  while (v >= 1000.0 && u + 1 < units.size()) {
+    v /= 1000.0;
+    ++u;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.2f%s", v, units[u]);
+  return buf;
+}
+
+std::string PerfCounters::to_string() const {
+  return "io=" + human_bytes(io_bytes()) + " (r=" + human_bytes(dram_read_bytes) +
+         " w=" + human_bytes(dram_write_bytes) + ") flops=" + human_count(flops) +
+         " atomics=" + human_count(atomic_ops) +
+         " kernels=" + std::to_string(kernel_launches) +
+         " onchip=" + human_bytes(onchip_bytes);
+}
+
+}  // namespace triad

@@ -1,0 +1,69 @@
+// Performance accounting: the analytic cost model behind every number the
+// benchmark harness reports.
+//
+// Each engine kernel *executes* the real math on the CPU and additionally
+// charges this ledger with the DRAM traffic / FLOPs / atomics that a GPU
+// kernel with the same thread mapping would incur (the paper's IO analysis in
+// Sections 4–5 uses exactly this naive global-memory model, e.g. the GAT
+// pre-fusion IO of |V|hf + 7|E|h + 3|E|hf).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace triad {
+
+/// Aggregate cost counters. Plain struct so snapshots/diffs are trivial.
+struct PerfCounters {
+  std::uint64_t dram_read_bytes = 0;   ///< modeled global-memory reads
+  std::uint64_t dram_write_bytes = 0;  ///< modeled global-memory writes
+  std::uint64_t flops = 0;             ///< floating point ops executed
+  std::uint64_t atomic_ops = 0;        ///< cross-thread atomic reductions
+  std::uint64_t kernel_launches = 0;   ///< number of device kernels issued
+  std::uint64_t onchip_bytes = 0;      ///< traffic kept in registers/shared mem by fusion
+
+  std::uint64_t io_bytes() const { return dram_read_bytes + dram_write_bytes; }
+
+  PerfCounters operator-(const PerfCounters& o) const {
+    PerfCounters r;
+    r.dram_read_bytes = dram_read_bytes - o.dram_read_bytes;
+    r.dram_write_bytes = dram_write_bytes - o.dram_write_bytes;
+    r.flops = flops - o.flops;
+    r.atomic_ops = atomic_ops - o.atomic_ops;
+    r.kernel_launches = kernel_launches - o.kernel_launches;
+    r.onchip_bytes = onchip_bytes - o.onchip_bytes;
+    return r;
+  }
+  PerfCounters& operator+=(const PerfCounters& o) {
+    dram_read_bytes += o.dram_read_bytes;
+    dram_write_bytes += o.dram_write_bytes;
+    flops += o.flops;
+    atomic_ops += o.atomic_ops;
+    kernel_launches += o.kernel_launches;
+    onchip_bytes += o.onchip_bytes;
+    return *this;
+  }
+
+  void reset() { *this = PerfCounters{}; }
+
+  std::string to_string() const;
+};
+
+/// Process-wide counter ledger the engine charges into.
+PerfCounters& global_counters();
+
+/// RAII scope that measures the counter delta across its lifetime.
+class CounterScope {
+ public:
+  CounterScope() : start_(global_counters()) {}
+  PerfCounters delta() const { return global_counters() - start_; }
+
+ private:
+  PerfCounters start_;
+};
+
+/// Pretty-print helpers for benchmark tables.
+std::string human_bytes(std::uint64_t bytes);
+std::string human_count(std::uint64_t n);
+
+}  // namespace triad

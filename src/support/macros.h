@@ -1,0 +1,51 @@
+// Error-checking and utility macros used across triad.
+//
+// All invariant violations throw triad::Error (derived from std::runtime_error)
+// with file/line context, so both library users and tests can catch them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace triad {
+
+/// Exception type thrown by all TRIAD_CHECK* macros.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* file, int line, const char* cond,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace triad
+
+/// Always-on invariant check. `msg` is streamed, e.g.
+/// TRIAD_CHECK(a == b, "dim mismatch " << a << " vs " << b);
+#define TRIAD_CHECK(cond, ...)                                        \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::ostringstream triad_os_;                                   \
+      triad_os_ << "" __VA_ARGS__;                                    \
+      ::triad::detail::fail(__FILE__, __LINE__, #cond, triad_os_.str()); \
+    }                                                                 \
+  } while (0)
+
+#define TRIAD_CHECK_EQ(a, b, ...) TRIAD_CHECK((a) == (b), #a "=" << (a) << " " #b "=" << (b) << " " __VA_ARGS__)
+#define TRIAD_CHECK_NE(a, b, ...) TRIAD_CHECK((a) != (b), #a "=" << (a) << " " __VA_ARGS__)
+#define TRIAD_CHECK_LT(a, b, ...) TRIAD_CHECK((a) < (b), #a "=" << (a) << " " #b "=" << (b) << " " __VA_ARGS__)
+#define TRIAD_CHECK_LE(a, b, ...) TRIAD_CHECK((a) <= (b), #a "=" << (a) << " " #b "=" << (b) << " " __VA_ARGS__)
+#define TRIAD_CHECK_GT(a, b, ...) TRIAD_CHECK((a) > (b), #a "=" << (a) << " " #b "=" << (b) << " " __VA_ARGS__)
+#define TRIAD_CHECK_GE(a, b, ...) TRIAD_CHECK((a) >= (b), #a "=" << (a) << " " #b "=" << (b) << " " __VA_ARGS__)
+
+/// Marks intentionally unreachable code paths.
+#define TRIAD_UNREACHABLE(msg) \
+  ::triad::detail::fail(__FILE__, __LINE__, "unreachable", msg)

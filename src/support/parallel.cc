@@ -1,0 +1,100 @@
+#include "support/parallel.h"
+
+#include <algorithm>
+
+namespace triad {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  const unsigned extra = num_threads > 0 ? num_threads - 1 : 0;
+  workers_.reserve(extra);
+  for (unsigned i = 0; i < extra; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i + 1); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_on_all(const std::function<void(unsigned)>& fn) {
+  if (workers_.empty()) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    task_.fn = &fn;
+    ++task_.epoch;
+    pending_ = static_cast<unsigned>(workers_.size());
+  }
+  cv_start_.notify_all();
+  fn(0);
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return pending_ == 0; });
+  task_.fn = nullptr;
+}
+
+void ThreadPool::worker_loop(unsigned index) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] { return stop_ || task_.epoch != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = task_.epoch;
+      fn = task_.fn;
+    }
+    (*fn)(index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+bool single_threaded() { return global_pool().size() == 1; }
+
+void parallel_for_chunks(std::int64_t begin, std::int64_t end,
+                         const std::function<void(std::int64_t, std::int64_t)>& fn,
+                         std::int64_t grain) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+  ThreadPool& pool = global_pool();
+  const unsigned workers = pool.size();
+  if (workers == 1 || n <= grain) {
+    fn(begin, end);
+    return;
+  }
+  std::atomic<std::int64_t> next{begin};
+  pool.run_on_all([&](unsigned) {
+    for (;;) {
+      const std::int64_t lo = next.fetch_add(grain, std::memory_order_relaxed);
+      if (lo >= end) break;
+      fn(lo, std::min(lo + grain, end));
+    }
+  });
+}
+
+void parallel_for(std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t)>& fn,
+                  std::int64_t grain) {
+  parallel_for_chunks(
+      begin, end,
+      [&fn](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) fn(i);
+      },
+      grain);
+}
+
+}  // namespace triad

@@ -1,0 +1,94 @@
+// Minimal thread-pool and parallel_for.
+//
+// The engine's kernels express their parallelism through parallel_for with an
+// explicit grain; on a single-core host this degrades to a serial loop with
+// zero overhead, while the thread-mapping *semantics* (vertex-balanced vs
+// edge-balanced work division, atomics for cross-thread reduction) are
+// preserved and separately accounted by the cost model in counters.h.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace triad {
+
+/// Fixed-size worker pool. One global instance (see global_pool()).
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  /// Runs fn(worker_index) on every worker (including the caller as worker 0)
+  /// and blocks until all return.
+  void run_on_all(const std::function<void(unsigned)>& fn);
+
+ private:
+  struct Task {
+    const std::function<void(unsigned)>* fn = nullptr;
+    std::uint64_t epoch = 0;
+  };
+
+  void worker_loop(unsigned index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  Task task_;
+  unsigned pending_ = 0;
+  bool stop_ = false;
+};
+
+/// Process-wide pool sized to the hardware concurrency.
+ThreadPool& global_pool();
+
+/// Parallel loop over [begin, end) in contiguous chunks. `fn(i)` is invoked
+/// exactly once per index. Serial when the range is small or the pool has a
+/// single worker.
+void parallel_for(std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t)>& fn,
+                  std::int64_t grain = 1024);
+
+/// Chunked variant: fn(lo, hi) over disjoint subranges — lets kernels hoist
+/// per-thread state (accumulators, scratch) out of the inner loop.
+void parallel_for_chunks(std::int64_t begin, std::int64_t end,
+                         const std::function<void(std::int64_t, std::int64_t)>& fn,
+                         std::int64_t grain = 1024);
+
+/// True when the global pool has a single worker — reductions then need no
+/// atomicity and take the plain-add fast path (the *cost model* still charges
+/// them as atomics; see PerfCounters).
+bool single_threaded();
+
+/// Atomic float accumulate — the CPU analogue of CUDA atomicAdd, used by
+/// edge-balanced reductions.
+inline void atomic_add(float* addr, float value) {
+  static const bool serial = single_threaded();
+  if (serial) {
+    *addr += value;
+    return;
+  }
+  std::atomic_ref<float> ref(*addr);
+  ref.fetch_add(value, std::memory_order_relaxed);
+}
+
+/// Atomic float max, same pattern.
+inline void atomic_max(float* addr, float value) {
+  std::atomic_ref<float> ref(*addr);
+  float old = ref.load(std::memory_order_relaxed);
+  while (old < value &&
+         !ref.compare_exchange_weak(old, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace triad

@@ -1,0 +1,94 @@
+#include "tensor/mempool.h"
+
+#include <sstream>
+
+#include "support/counters.h"
+
+namespace triad {
+
+const char* mem_tag_name(MemTag tag) {
+  switch (tag) {
+    case MemTag::kWeights: return "weights";
+    case MemTag::kActivations: return "activations";
+    case MemTag::kStash: return "stash";
+    case MemTag::kGradient: return "gradients";
+    case MemTag::kWorkspace: return "workspace";
+    case MemTag::kInput: return "inputs";
+    case MemTag::kCount: break;
+  }
+  return "?";
+}
+
+OutOfMemory::OutOfMemory(std::size_t req, std::size_t lv, std::size_t cap)
+    : Error("device out of memory: requested " + human_bytes(req) + ", live " +
+            human_bytes(lv) + ", capacity " + human_bytes(cap)),
+      requested(req),
+      live(lv),
+      capacity(cap) {}
+
+void MemoryPool::on_alloc(std::size_t bytes, MemTag tag) {
+  if (capacity_ != 0 && live_ + bytes > capacity_) {
+    throw OutOfMemory(bytes, live_, capacity_);
+  }
+  live_ += bytes;
+  live_by_tag_[static_cast<std::size_t>(tag)] += bytes;
+  if (live_ > peak_) {
+    peak_ = live_;
+    peak_by_tag_ = live_by_tag_;
+  }
+}
+
+void MemoryPool::on_free(std::size_t bytes, MemTag tag) {
+  TRIAD_CHECK_GE(live_, bytes, "pool free underflow");
+  auto& tagged = live_by_tag_[static_cast<std::size_t>(tag)];
+  TRIAD_CHECK_GE(tagged, bytes, "tag " << mem_tag_name(tag) << " free underflow");
+  live_ -= bytes;
+  tagged -= bytes;
+}
+
+float* MemoryPool::alloc_f32(std::size_t count, MemTag tag) {
+  on_alloc(count * sizeof(float), tag);
+  return new float[count];
+}
+
+std::int32_t* MemoryPool::alloc_i32(std::size_t count, MemTag tag) {
+  on_alloc(count * sizeof(std::int32_t), tag);
+  return new std::int32_t[count];
+}
+
+void MemoryPool::free_f32(float* p, std::size_t count, MemTag tag) {
+  if (p == nullptr) return;
+  on_free(count * sizeof(float), tag);
+  delete[] p;
+}
+
+void MemoryPool::free_i32(std::int32_t* p, std::size_t count, MemTag tag) {
+  if (p == nullptr) return;
+  on_free(count * sizeof(std::int32_t), tag);
+  delete[] p;
+}
+
+void MemoryPool::reset_peak() {
+  peak_ = live_;
+  peak_by_tag_ = live_by_tag_;
+}
+
+std::string MemoryPool::report() const {
+  std::ostringstream os;
+  os << "peak=" << human_bytes(peak_) << " live=" << human_bytes(live_);
+  os << " [at peak:";
+  for (std::size_t i = 0; i < peak_by_tag_.size(); ++i) {
+    if (peak_by_tag_[i] == 0) continue;
+    os << " " << mem_tag_name(static_cast<MemTag>(i)) << "="
+       << human_bytes(peak_by_tag_[i]);
+  }
+  os << "]";
+  return os.str();
+}
+
+MemoryPool& global_pool_mem() {
+  static MemoryPool pool;
+  return pool;
+}
+
+}  // namespace triad

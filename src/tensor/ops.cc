@@ -1,0 +1,336 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "support/parallel.h"
+
+namespace triad::ops {
+
+namespace {
+
+// Cache-blocked kernel core: C[m,n] (+)= A[m,k] * B[k,n], contiguous inputs.
+// Inputs are materialized into row-major panels by matmul() beforehand when a
+// transpose is requested, which keeps this inner loop simple and fast.
+constexpr std::int64_t kBlockM = 64;
+constexpr std::int64_t kBlockN = 64;
+constexpr std::int64_t kBlockK = 64;
+
+void gemm_rowmajor(const float* a, const float* b, float* c, std::int64_t m,
+                   std::int64_t n, std::int64_t k) {
+  parallel_for_chunks(0, m, [&](std::int64_t mlo, std::int64_t mhi) {
+    for (std::int64_t i0 = mlo; i0 < mhi; i0 += kBlockM) {
+      const std::int64_t i1 = std::min(i0 + kBlockM, mhi);
+      for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+        const std::int64_t k1 = std::min(k0 + kBlockK, k);
+        for (std::int64_t j0 = 0; j0 < n; j0 += kBlockN) {
+          const std::int64_t j1 = std::min(j0 + kBlockN, n);
+          for (std::int64_t i = i0; i < i1; ++i) {
+            float* crow = c + i * n;
+            for (std::int64_t kk = k0; kk < k1; ++kk) {
+              const float av = a[i * k + kk];
+              const float* brow = b + kk * n;
+              for (std::int64_t j = j0; j < j1; ++j) crow[j] += av * brow[j];
+            }
+          }
+        }
+      }
+    }
+  }, kBlockM);
+}
+
+Tensor transpose_copy(const Tensor& x) {
+  Tensor out(x.cols(), x.rows(), MemTag::kWorkspace);
+  for (std::int64_t r = 0; r < x.rows(); ++r) {
+    const float* src = x.row(r);
+    for (std::int64_t c = 0; c < x.cols(); ++c) out.at(c, r) = src[c];
+  }
+  return out;
+}
+
+template <typename F>
+void unary(const Tensor& x, Tensor& out, F f) {
+  TRIAD_CHECK_EQ(x.rows(), out.rows());
+  TRIAD_CHECK_EQ(x.cols(), out.cols());
+  const float* in = x.data();
+  float* o = out.data();
+  const std::int64_t n = x.numel();
+  for (std::int64_t i = 0; i < n; ++i) o[i] = f(in[i]);
+}
+
+template <typename F>
+void binary(const Tensor& a, const Tensor& b, Tensor& out, F f) {
+  TRIAD_CHECK(a.rows() == b.rows() && a.cols() == b.cols() &&
+                  a.rows() == out.rows() && a.cols() == out.cols(),
+              "binary op shape mismatch: (" << a.rows() << "," << a.cols()
+              << ") vs (" << b.rows() << "," << b.cols() << ")");
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* o = out.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) o[i] = f(pa[i], pb[i]);
+}
+
+}  // namespace
+
+void matmul(const Tensor& a, const Tensor& b, Tensor& c, bool trans_a,
+            bool trans_b, bool accumulate) {
+  const std::int64_t m = trans_a ? a.cols() : a.rows();
+  const std::int64_t k = trans_a ? a.rows() : a.cols();
+  const std::int64_t kb = trans_b ? b.cols() : b.rows();
+  const std::int64_t n = trans_b ? b.rows() : b.cols();
+  TRIAD_CHECK_EQ(k, kb, "matmul inner dim");
+  TRIAD_CHECK_EQ(c.rows(), m);
+  TRIAD_CHECK_EQ(c.cols(), n);
+  if (!accumulate) c.fill(0.f);
+  Tensor at_storage, bt_storage;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  if (trans_a) {
+    at_storage = transpose_copy(a);
+    pa = at_storage.data();
+  }
+  if (trans_b) {
+    bt_storage = transpose_copy(b);
+    pb = bt_storage.data();
+  }
+  gemm_rowmajor(pa, pb, c.data(), m, n, k);
+}
+
+void add_bias(Tensor& y, const Tensor& bias) {
+  TRIAD_CHECK_EQ(bias.rows(), 1);
+  TRIAD_CHECK_EQ(bias.cols(), y.cols());
+  const float* b = bias.data();
+  for (std::int64_t r = 0; r < y.rows(); ++r) {
+    float* row = y.row(r);
+    for (std::int64_t c = 0; c < y.cols(); ++c) row[c] += b[c];
+  }
+}
+
+void bias_grad(const Tensor& grad, Tensor& bg, bool accumulate) {
+  TRIAD_CHECK_EQ(bg.rows(), 1);
+  TRIAD_CHECK_EQ(bg.cols(), grad.cols());
+  if (!accumulate) bg.fill(0.f);
+  float* out = bg.data();
+  for (std::int64_t r = 0; r < grad.rows(); ++r) {
+    const float* row = grad.row(r);
+    for (std::int64_t c = 0; c < grad.cols(); ++c) out[c] += row[c];
+  }
+}
+
+void leaky_relu(const Tensor& x, Tensor& out, float slope) {
+  unary(x, out, [slope](float v) { return v > 0.f ? v : slope * v; });
+}
+void relu(const Tensor& x, Tensor& out) {
+  unary(x, out, [](float v) { return v > 0.f ? v : 0.f; });
+}
+void elu(const Tensor& x, Tensor& out, float alpha) {
+  unary(x, out, [alpha](float v) { return v > 0.f ? v : alpha * (std::exp(v) - 1.f); });
+}
+void exp(const Tensor& x, Tensor& out) {
+  unary(x, out, [](float v) { return std::exp(v); });
+}
+void neg(const Tensor& x, Tensor& out) {
+  unary(x, out, [](float v) { return -v; });
+}
+void scale(const Tensor& x, Tensor& out, float s) {
+  unary(x, out, [s](float v) { return s * v; });
+}
+void copy(const Tensor& x, Tensor& out) {
+  TRIAD_CHECK_EQ(x.numel(), out.numel());
+  std::memcpy(out.data(), x.data(), x.bytes());
+}
+
+void leaky_relu_grad(const Tensor& gy, const Tensor& x, Tensor& out, float slope) {
+  binary(gy, x, out, [slope](float g, float v) { return v > 0.f ? g : slope * g; });
+}
+void relu_grad(const Tensor& gy, const Tensor& x, Tensor& out) {
+  binary(gy, x, out, [](float g, float v) { return v > 0.f ? g : 0.f; });
+}
+void elu_grad(const Tensor& gy, const Tensor& x, Tensor& out, float alpha) {
+  binary(gy, x, out, [alpha](float g, float v) {
+    return v > 0.f ? g : g * alpha * std::exp(v);
+  });
+}
+void exp_grad(const Tensor& gy, const Tensor& y, Tensor& out) {
+  binary(gy, y, out, [](float g, float v) { return g * v; });
+}
+
+void add(const Tensor& a, const Tensor& b, Tensor& out) {
+  binary(a, b, out, [](float x, float y) { return x + y; });
+}
+void sub(const Tensor& a, const Tensor& b, Tensor& out) {
+  binary(a, b, out, [](float x, float y) { return x - y; });
+}
+void mul(const Tensor& a, const Tensor& b, Tensor& out) {
+  binary(a, b, out, [](float x, float y) { return x * y; });
+}
+void div(const Tensor& a, const Tensor& b, Tensor& out) {
+  binary(a, b, out, [](float x, float y) { return x / y; });
+}
+
+void mul_head(const Tensor& a, const Tensor& b, Tensor& out, std::int64_t heads) {
+  TRIAD_CHECK_EQ(a.rows(), b.rows());
+  TRIAD_CHECK_EQ(b.cols(), heads);
+  TRIAD_CHECK_EQ(a.cols() % heads, 0, "feature width not divisible by heads");
+  TRIAD_CHECK_EQ(out.rows(), a.rows());
+  TRIAD_CHECK_EQ(out.cols(), a.cols());
+  const std::int64_t f = a.cols() / heads;
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    const float* arow = a.row(r);
+    const float* brow = b.row(r);
+    float* orow = out.row(r);
+    for (std::int64_t h = 0; h < heads; ++h) {
+      const float s = brow[h];
+      for (std::int64_t j = 0; j < f; ++j) orow[h * f + j] = s * arow[h * f + j];
+    }
+  }
+}
+
+void dot_head(const Tensor& a, const Tensor& b, Tensor& out, std::int64_t heads) {
+  TRIAD_CHECK_EQ(a.rows(), b.rows());
+  TRIAD_CHECK_EQ(a.cols(), b.cols());
+  TRIAD_CHECK_EQ(a.cols() % heads, 0);
+  TRIAD_CHECK_EQ(out.rows(), a.rows());
+  TRIAD_CHECK_EQ(out.cols(), heads);
+  const std::int64_t f = a.cols() / heads;
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    const float* arow = a.row(r);
+    const float* brow = b.row(r);
+    float* orow = out.row(r);
+    for (std::int64_t h = 0; h < heads; ++h) {
+      float acc = 0.f;
+      for (std::int64_t j = 0; j < f; ++j) acc += arow[h * f + j] * brow[h * f + j];
+      orow[h] = acc;
+    }
+  }
+}
+
+void head_sum(const Tensor& x, Tensor& out, std::int64_t heads, float alpha) {
+  TRIAD_CHECK_EQ(x.cols() % heads, 0);
+  const std::int64_t f = x.cols() / heads;
+  TRIAD_CHECK_EQ(out.rows(), x.rows());
+  TRIAD_CHECK_EQ(out.cols(), f);
+  for (std::int64_t r = 0; r < x.rows(); ++r) {
+    const float* xr = x.row(r);
+    float* orow = out.row(r);
+    for (std::int64_t j = 0; j < f; ++j) {
+      float acc = 0.f;
+      for (std::int64_t k = 0; k < heads; ++k) acc += xr[k * f + j];
+      orow[j] = alpha * acc;
+    }
+  }
+}
+
+void head_broadcast(const Tensor& x, Tensor& out, std::int64_t heads, float alpha) {
+  const std::int64_t f = x.cols();
+  TRIAD_CHECK_EQ(out.rows(), x.rows());
+  TRIAD_CHECK_EQ(out.cols(), f * heads);
+  for (std::int64_t r = 0; r < x.rows(); ++r) {
+    const float* xr = x.row(r);
+    float* orow = out.row(r);
+    for (std::int64_t k = 0; k < heads; ++k) {
+      for (std::int64_t j = 0; j < f; ++j) orow[k * f + j] = alpha * xr[j];
+    }
+  }
+}
+
+void axpy(Tensor& y, const Tensor& x, float alpha) {
+  TRIAD_CHECK_EQ(y.numel(), x.numel());
+  float* py = y.data();
+  const float* px = x.data();
+  const std::int64_t n = y.numel();
+  for (std::int64_t i = 0; i < n; ++i) py[i] += alpha * px[i];
+}
+
+void concat_cols(const Tensor& a, const Tensor& b, Tensor& out) {
+  TRIAD_CHECK_EQ(a.rows(), b.rows());
+  TRIAD_CHECK_EQ(out.rows(), a.rows());
+  TRIAD_CHECK_EQ(out.cols(), a.cols() + b.cols());
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    std::memcpy(out.row(r), a.row(r), static_cast<std::size_t>(a.cols()) * sizeof(float));
+    std::memcpy(out.row(r) + a.cols(), b.row(r),
+                static_cast<std::size_t>(b.cols()) * sizeof(float));
+  }
+}
+
+void slice_cols(const Tensor& x, Tensor& out, std::int64_t lo, std::int64_t hi) {
+  TRIAD_CHECK(lo >= 0 && lo < hi && hi <= x.cols(), "bad slice [" << lo << "," << hi << ")");
+  TRIAD_CHECK_EQ(out.rows(), x.rows());
+  TRIAD_CHECK_EQ(out.cols(), hi - lo);
+  for (std::int64_t r = 0; r < x.rows(); ++r) {
+    std::memcpy(out.row(r), x.row(r) + lo,
+                static_cast<std::size_t>(hi - lo) * sizeof(float));
+  }
+}
+
+float softmax_cross_entropy(const Tensor& logits, const IntTensor& labels,
+                            Tensor* grad) {
+  TRIAD_CHECK_EQ(labels.rows(), logits.rows());
+  TRIAD_CHECK_EQ(labels.cols(), 1);
+  if (grad != nullptr) {
+    TRIAD_CHECK_EQ(grad->rows(), logits.rows());
+    TRIAD_CHECK_EQ(grad->cols(), logits.cols());
+  }
+  const std::int64_t n = logits.rows();
+  const std::int64_t c = logits.cols();
+  const float inv_n = 1.f / static_cast<float>(n);
+  double loss = 0.0;
+  for (std::int64_t r = 0; r < n; ++r) {
+    const float* row = logits.row(r);
+    const std::int32_t y = labels.at(r, 0);
+    TRIAD_CHECK(y >= 0 && y < c, "label " << y << " out of range " << c);
+    float mx = row[0];
+    for (std::int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+    double denom = 0.0;
+    for (std::int64_t j = 0; j < c; ++j) denom += std::exp(static_cast<double>(row[j] - mx));
+    loss += std::log(denom) - static_cast<double>(row[y] - mx);
+    if (grad != nullptr) {
+      float* grow = grad->row(r);
+      for (std::int64_t j = 0; j < c; ++j) {
+        const float p = static_cast<float>(std::exp(static_cast<double>(row[j] - mx)) / denom);
+        grow[j] = (p - (j == y ? 1.f : 0.f)) * inv_n;
+      }
+    }
+  }
+  return static_cast<float>(loss / static_cast<double>(n));
+}
+
+float accuracy(const Tensor& logits, const IntTensor& labels) {
+  std::int64_t hit = 0;
+  for (std::int64_t r = 0; r < logits.rows(); ++r) {
+    const float* row = logits.row(r);
+    std::int64_t best = 0;
+    for (std::int64_t j = 1; j < logits.cols(); ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    if (best == labels.at(r, 0)) ++hit;
+  }
+  return static_cast<float>(hit) / static_cast<float>(logits.rows());
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  TRIAD_CHECK_EQ(a.rows(), b.rows());
+  TRIAD_CHECK_EQ(a.cols(), b.cols());
+  float m = 0.f;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    m = std::max(m, std::fabs(pa[i] - pb[i]));
+  }
+  return m;
+}
+
+bool allclose(const Tensor& a, const Tensor& b, float atol, float rtol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    const float diff = std::fabs(pa[i] - pb[i]);
+    if (diff > atol + rtol * std::fabs(pb[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace triad::ops

@@ -1,0 +1,88 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace triad {
+
+Tensor::Storage::Storage(std::int64_t n, MemTag t, MemoryPool* p)
+    : data(p->alloc_f32(static_cast<std::size_t>(n), t)), count(n), tag(t), pool(p) {}
+
+Tensor::Storage::~Storage() {
+  pool->free_f32(data, static_cast<std::size_t>(count), tag);
+}
+
+Tensor::Tensor(std::int64_t rows, std::int64_t cols, MemTag tag, MemoryPool* pool)
+    : rows_(rows), cols_(cols) {
+  TRIAD_CHECK(rows >= 0 && cols >= 0, "negative shape " << rows << "x" << cols);
+  storage_ = std::make_shared<Storage>(rows * cols, tag, pool);
+}
+
+Tensor Tensor::zeros(std::int64_t rows, std::int64_t cols, MemTag tag,
+                     MemoryPool* pool) {
+  Tensor t(rows, cols, tag, pool);
+  t.fill(0.f);
+  return t;
+}
+
+Tensor Tensor::full(std::int64_t rows, std::int64_t cols, float value, MemTag tag,
+                    MemoryPool* pool) {
+  Tensor t(rows, cols, tag, pool);
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::xavier(std::int64_t rows, std::int64_t cols, Rng& rng, MemTag tag,
+                      MemoryPool* pool) {
+  Tensor t(rows, cols, tag, pool);
+  const float bound = std::sqrt(6.f / static_cast<float>(rows + cols));
+  for (auto& v : t.flat()) v = static_cast<float>(rng.uniform(-bound, bound));
+  return t;
+}
+
+Tensor Tensor::randn(std::int64_t rows, std::int64_t cols, Rng& rng, float stddev,
+                     MemTag tag, MemoryPool* pool) {
+  Tensor t(rows, cols, tag, pool);
+  for (auto& v : t.flat()) v = rng.normalf(0.f, stddev);
+  return t;
+}
+
+void Tensor::fill(float value) {
+  TRIAD_CHECK(defined(), "fill on undefined tensor");
+  std::fill(data(), data() + numel(), value);
+}
+
+Tensor Tensor::clone(MemTag tag, MemoryPool* pool) const {
+  TRIAD_CHECK(defined(), "clone of undefined tensor");
+  Tensor out(rows_, cols_, tag, pool);
+  std::memcpy(out.data(), data(), bytes());
+  return out;
+}
+
+IntTensor::Storage::Storage(std::int64_t n, MemTag t, MemoryPool* p)
+    : data(p->alloc_i32(static_cast<std::size_t>(n), t)), count(n), tag(t), pool(p) {}
+
+IntTensor::Storage::~Storage() {
+  pool->free_i32(data, static_cast<std::size_t>(count), tag);
+}
+
+IntTensor::IntTensor(std::int64_t rows, std::int64_t cols, MemTag tag,
+                     MemoryPool* pool)
+    : rows_(rows), cols_(cols) {
+  TRIAD_CHECK(rows >= 0 && cols >= 0, "negative shape");
+  storage_ = std::make_shared<Storage>(rows * cols, tag, pool);
+}
+
+IntTensor IntTensor::zeros(std::int64_t rows, std::int64_t cols, MemTag tag,
+                           MemoryPool* pool) {
+  IntTensor t(rows, cols, tag, pool);
+  t.fill(0);
+  return t;
+}
+
+void IntTensor::fill(std::int32_t v) {
+  std::fill(data(), data() + numel(), v);
+}
+
+}  // namespace triad

@@ -1,0 +1,97 @@
+// Tests for the dataset registry and synthesis.
+#include <gtest/gtest.h>
+
+#include "graph/datasets.h"
+
+namespace triad {
+namespace {
+
+TEST(Datasets, PublishedSpecs) {
+  const DatasetSpec cora = dataset_spec("cora");
+  EXPECT_EQ(cora.vertices, 2708);
+  EXPECT_EQ(cora.edges, 10556);
+  EXPECT_EQ(cora.feat_dim, 1433);
+  EXPECT_EQ(cora.num_classes, 7);
+  EXPECT_FALSE(cora.power_law);
+
+  const DatasetSpec reddit = dataset_spec("reddit");
+  EXPECT_EQ(reddit.vertices, 232965);
+  EXPECT_EQ(reddit.edges, 114615892);
+  EXPECT_EQ(reddit.num_classes, 41);
+  EXPECT_TRUE(reddit.power_law);
+
+  EXPECT_EQ(dataset_spec("citeseer").feat_dim, 3703);
+  EXPECT_EQ(dataset_spec("pubmed").vertices, 19717);
+  EXPECT_THROW(dataset_spec("imagenet"), Error);
+}
+
+TEST(Datasets, FullScaleSynthesisMatchesSpec) {
+  Rng rng(1);
+  Dataset d = make_dataset("cora", rng);
+  EXPECT_EQ(d.graph.num_vertices(), 2708);
+  EXPECT_EQ(d.graph.num_edges(), 10556);
+  EXPECT_EQ(d.features.rows(), 2708);
+  EXPECT_EQ(d.features.cols(), 1433);
+  EXPECT_EQ(d.labels.rows(), 2708);
+  EXPECT_EQ(d.num_classes, 7);
+}
+
+TEST(Datasets, ScalingShrinksProportionally) {
+  Rng rng(2);
+  Dataset d = make_dataset("pubmed", rng, 0.1, 0.5);
+  EXPECT_NEAR(static_cast<double>(d.graph.num_vertices()), 1972, 2);
+  EXPECT_NEAR(static_cast<double>(d.graph.num_edges()), 8865, 2);
+  EXPECT_EQ(d.features.cols(), 250);
+}
+
+TEST(Datasets, LabelsInRange) {
+  Rng rng(3);
+  Dataset d = make_dataset("citeseer", rng, 0.2);
+  for (std::int64_t v = 0; v < d.labels.rows(); ++v) {
+    EXPECT_GE(d.labels.at(v, 0), 0);
+    EXPECT_LT(d.labels.at(v, 0), d.num_classes);
+  }
+}
+
+TEST(Datasets, RedditScaledIsSkewed) {
+  Rng rng(4);
+  Dataset d = make_dataset("reddit", rng, 0.005);
+  const double avg = static_cast<double>(d.graph.num_edges()) /
+                     static_cast<double>(d.graph.num_vertices());
+  EXPECT_GT(static_cast<double>(d.graph.max_in_degree()), 5 * avg);
+}
+
+TEST(Datasets, FeaturesAreClassCorrelated) {
+  Rng rng(5);
+  Dataset d = make_dataset("cora", rng, 0.3, 0.05);
+  // Mean feature distance within a class should be below across classes.
+  // Compare class 0 centroid-consistency crudely.
+  std::vector<double> mean0(d.features.cols(), 0.0);
+  std::vector<double> mean1(d.features.cols(), 0.0);
+  int n0 = 0, n1 = 0;
+  for (std::int64_t v = 0; v < d.features.rows(); ++v) {
+    const int c = d.labels.at(v, 0);
+    if (c == 0) {
+      ++n0;
+      for (std::int64_t j = 0; j < d.features.cols(); ++j) {
+        mean0[j] += d.features.at(v, j);
+      }
+    } else if (c == 1) {
+      ++n1;
+      for (std::int64_t j = 0; j < d.features.cols(); ++j) {
+        mean1[j] += d.features.at(v, j);
+      }
+    }
+  }
+  ASSERT_GT(n0, 3);
+  ASSERT_GT(n1, 3);
+  double dist = 0;
+  for (std::size_t j = 0; j < mean0.size(); ++j) {
+    const double diff = mean0[j] / n0 - mean1[j] / n1;
+    dist += diff * diff;
+  }
+  EXPECT_GT(dist, 0.5);  // distinct class centroids
+}
+
+}  // namespace
+}  // namespace triad

@@ -1,0 +1,66 @@
+// Tests for the DeviceProfile roofline model used by Figure 11.
+#include <gtest/gtest.h>
+
+#include "engine/device.h"
+
+namespace triad {
+namespace {
+
+TEST(Device, ProfilesMatchSpecs) {
+  EXPECT_EQ(rtx3090().capacity_bytes, std::size_t{24} << 30);
+  EXPECT_EQ(rtx2080().capacity_bytes, std::size_t{8} << 30);
+  EXPECT_GT(rtx3090().fp32_tflops, rtx2080().fp32_tflops);
+  EXPECT_GT(rtx3090().mem_bw_gbs, rtx2080().mem_bw_gbs);
+}
+
+TEST(Device, ComputeBoundKernel) {
+  PerfCounters c;
+  c.flops = 35'600'000'000'000ull;  // exactly 1 s of 3090 compute
+  c.dram_read_bytes = 1;            // negligible traffic
+  const double t = rtx3090().modeled_seconds(c);
+  EXPECT_NEAR(t, 1.0, 0.01);
+}
+
+TEST(Device, MemoryBoundKernel) {
+  PerfCounters c;
+  c.dram_read_bytes = 936'000'000'000ull;  // 1 s of 3090 bandwidth
+  c.flops = 1;
+  const double t = rtx3090().modeled_seconds(c);
+  EXPECT_NEAR(t, 1.0, 0.01);
+}
+
+TEST(Device, RooflineTakesMax) {
+  PerfCounters c;
+  c.flops = 35'600'000'000'000ull;         // 1 s compute
+  c.dram_read_bytes = 936'000'000'000ull;  // 1 s traffic
+  const double t = rtx3090().modeled_seconds(c);
+  EXPECT_NEAR(t, 1.0, 0.02);  // max, not sum
+}
+
+TEST(Device, AtomicsAddLatency) {
+  PerfCounters base;
+  base.dram_read_bytes = 1'000'000'000;
+  PerfCounters with_atomics = base;
+  with_atomics.atomic_ops = 1'000'000'000;
+  EXPECT_GT(rtx3090().modeled_seconds(with_atomics),
+            rtx3090().modeled_seconds(base));
+}
+
+TEST(Device, LaunchOverheadPerKernel) {
+  PerfCounters many, few;
+  many.kernel_launches = 1000;
+  few.kernel_launches = 10;
+  const DeviceProfile d = rtx3090();
+  EXPECT_NEAR(d.modeled_seconds(many) - d.modeled_seconds(few),
+              990 * d.launch_overhead_us * 1e-6, 1e-9);
+}
+
+TEST(Device, SlowerDeviceIsSlower) {
+  PerfCounters c;
+  c.flops = 1'000'000'000'000ull;
+  c.dram_read_bytes = 100'000'000'000ull;
+  EXPECT_GT(rtx2080().modeled_seconds(c), rtx3090().modeled_seconds(c));
+}
+
+}  // namespace
+}  // namespace triad

@@ -1,0 +1,232 @@
+// The central correctness property of the whole system: every execution
+// strategy (DGL-like, fuseGNN-like, Ours, and all ablations) computes the
+// SAME logits and the SAME parameter gradients for the same model and
+// weights. Optimizations may only change cost, never semantics.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "baselines/strategy.h"
+#include "engine/executor.h"
+#include "graph/generators.h"
+#include "models/models.h"
+#include "models/trainer.h"
+#include "support/rng.h"
+#include "tensor/ops.h"
+
+namespace triad {
+namespace {
+
+Graph test_graph() {
+  Rng rng(301);
+  return gen::erdos_renyi(24, 150, rng);
+}
+
+struct RunResult {
+  Tensor logits;
+  std::vector<Tensor> grads;
+  float loss;
+};
+
+/// Builds the model fresh (seeded), compiles under `s`, runs one training
+/// step with lr=0 (pure gradient computation) and returns logits + grads.
+RunResult run_strategy(
+    const Strategy& s,
+    const std::function<ModelGraph(Rng&, const Strategy&)>& build,
+    const Graph& g, const Tensor& features, const IntTensor& labels,
+    Tensor pseudo = {}) {
+  Rng rng(4242);  // identical initial weights across strategies
+  ModelGraph m = build(rng, s);
+  Compiled c = compile_model(std::move(m), s, /*training=*/true);
+  MemoryPool pool;
+  Trainer trainer(std::move(c), g, features.clone(MemTag::kInput, &pool),
+                  pseudo.defined() ? pseudo.clone(MemTag::kInput, &pool) : Tensor{},
+                  &pool);
+  StepMetrics metrics = trainer.train_step(labels, /*lr=*/0.f);
+  RunResult r;
+  r.loss = metrics.loss;
+  r.logits = trainer.logits().clone();
+  for (int gnode : trainer.model().param_grads) {
+    r.grads.push_back(trainer.executor().result(gnode).clone());
+  }
+  return r;
+}
+
+void expect_equivalent(const RunResult& a, const RunResult& b,
+                       const std::string& label, float tol = 5e-3f) {
+  EXPECT_NEAR(a.loss, b.loss, 1e-3f) << label;
+  EXPECT_LT(ops::max_abs_diff(a.logits, b.logits), tol) << label << " logits";
+  ASSERT_EQ(a.grads.size(), b.grads.size()) << label;
+  for (std::size_t i = 0; i < a.grads.size(); ++i) {
+    // Gradients can be small; compare with mixed tolerance.
+    EXPECT_TRUE(ops::allclose(a.grads[i], b.grads[i], tol, 1e-2f))
+        << label << " grad " << i << " max|diff|="
+        << ops::max_abs_diff(a.grads[i], b.grads[i]);
+  }
+}
+
+std::vector<Strategy> all_strategies() {
+  return {naive(),          dgl_like(),          fusegnn_like(), ours(),
+          ours_no_reorg(),  ours_no_fusion(),    ours_fusion_stash()};
+}
+
+TEST(Equivalence, GatAllStrategiesAgree) {
+  Graph g = test_graph();
+  Rng drng(7);
+  Tensor features = Tensor::randn(g.num_vertices(), 10, drng);
+  IntTensor labels(g.num_vertices(), 1);
+  for (std::int64_t v = 0; v < g.num_vertices(); ++v) {
+    labels.at(v, 0) = static_cast<std::int32_t>(v % 4);
+  }
+  auto build = [](Rng& rng, const Strategy& s) {
+    GatConfig cfg;
+    cfg.in_dim = 10;
+    cfg.hidden = 12;
+    cfg.heads = 2;
+    cfg.layers = 2;
+    cfg.num_classes = 4;
+    cfg.prereorganized = s.prereorganized_gat;
+    cfg.builtin_softmax = s.builtin_softmax;
+    return build_gat(cfg, rng);
+  };
+  const auto strategies = all_strategies();
+  const RunResult ref = run_strategy(strategies[0], build, g, features, labels);
+  for (std::size_t i = 1; i < strategies.size(); ++i) {
+    const RunResult r = run_strategy(strategies[i], build, g, features, labels);
+    expect_equivalent(ref, r, "GAT vs " + strategies[i].name);
+  }
+}
+
+TEST(Equivalence, EdgeConvAllStrategiesAgree) {
+  Graph g = test_graph();
+  Rng drng(8);
+  Tensor features = Tensor::randn(g.num_vertices(), 3, drng);
+  IntTensor labels(g.num_vertices(), 1);
+  for (std::int64_t v = 0; v < g.num_vertices(); ++v) {
+    labels.at(v, 0) = static_cast<std::int32_t>(v % 5);
+  }
+  auto build = [](Rng& rng, const Strategy&) {
+    EdgeConvConfig cfg;
+    cfg.in_dim = 3;
+    cfg.hidden = {8, 12};
+    cfg.num_classes = 5;
+    return build_edgeconv(cfg, rng);
+  };
+  const auto strategies = all_strategies();
+  const RunResult ref = run_strategy(strategies[0], build, g, features, labels);
+  for (std::size_t i = 1; i < strategies.size(); ++i) {
+    const RunResult r = run_strategy(strategies[i], build, g, features, labels);
+    expect_equivalent(ref, r, "EdgeConv vs " + strategies[i].name);
+  }
+}
+
+TEST(Equivalence, MoNetAllStrategiesAgree) {
+  Graph g = test_graph();
+  Rng drng(9);
+  Tensor features = Tensor::randn(g.num_vertices(), 6, drng);
+  Tensor pseudo = make_pseudo_coords(g, 2);
+  IntTensor labels(g.num_vertices(), 1);
+  for (std::int64_t v = 0; v < g.num_vertices(); ++v) {
+    labels.at(v, 0) = static_cast<std::int32_t>(v % 3);
+  }
+  auto build = [](Rng& rng, const Strategy&) {
+    MoNetConfig cfg;
+    cfg.in_dim = 6;
+    cfg.hidden = 8;
+    cfg.kernels = 2;
+    cfg.pseudo_dim = 2;
+    cfg.num_classes = 3;
+    return build_monet(cfg, rng);
+  };
+  const auto strategies = all_strategies();
+  const RunResult ref = run_strategy(strategies[0], build, g, features, labels,
+                                     pseudo);
+  for (std::size_t i = 1; i < strategies.size(); ++i) {
+    const RunResult r =
+        run_strategy(strategies[i], build, g, features, labels, pseudo);
+    expect_equivalent(ref, r, "MoNet vs " + strategies[i].name);
+  }
+}
+
+TEST(Equivalence, GcnOursMatchesNaive) {
+  Graph g = test_graph();
+  Rng drng(10);
+  Tensor features = Tensor::randn(g.num_vertices(), 8, drng);
+  IntTensor labels(g.num_vertices(), 1);
+  for (std::int64_t v = 0; v < g.num_vertices(); ++v) {
+    labels.at(v, 0) = static_cast<std::int32_t>(v % 4);
+  }
+  auto build = [](Rng& rng, const Strategy&) {
+    GcnConfig cfg;
+    cfg.in_dim = 8;
+    cfg.hidden = {12};
+    cfg.num_classes = 4;
+    return build_gcn(cfg, rng);
+  };
+  const RunResult a = run_strategy(naive(), build, g, features, labels);
+  const RunResult b = run_strategy(ours(), build, g, features, labels);
+  expect_equivalent(a, b, "GCN naive vs ours");
+}
+
+TEST(Equivalence, EdgeBalancedMappingAgrees) {
+  // Force the edge-balanced preference: results must not change.
+  Graph g = test_graph();
+  Rng drng(11);
+  Tensor features = Tensor::randn(g.num_vertices(), 8, drng);
+  IntTensor labels(g.num_vertices(), 1);
+  for (std::int64_t v = 0; v < g.num_vertices(); ++v) {
+    labels.at(v, 0) = static_cast<std::int32_t>(v % 4);
+  }
+  auto build = [](Rng& rng, const Strategy&) {
+    GcnConfig cfg;
+    cfg.in_dim = 8;
+    cfg.hidden = {12};
+    cfg.num_classes = 4;
+    return build_gcn(cfg, rng);
+  };
+  Strategy eb = ours();
+  eb.mapping = WorkMapping::EdgeBalanced;
+  const RunResult a = run_strategy(ours(), build, g, features, labels);
+  const RunResult b = run_strategy(eb, build, g, features, labels);
+  expect_equivalent(a, b, "vertex- vs edge-balanced");
+}
+
+TEST(Equivalence, OursUsesLessStashMemoryOnGat) {
+  // The qualitative Fig. 10 claim at unit-test scale: fusion+recompute stash
+  // < fusion+stash stash < unfused stash.
+  Graph g = test_graph();
+  Rng drng(12);
+  Tensor features = Tensor::randn(g.num_vertices(), 10, drng);
+  IntTensor labels(g.num_vertices(), 1);
+  for (std::int64_t v = 0; v < g.num_vertices(); ++v) {
+    labels.at(v, 0) = static_cast<std::int32_t>(v % 4);
+  }
+  auto build = [](Rng& rng, const Strategy& s) {
+    GatConfig cfg;
+    cfg.in_dim = 10;
+    cfg.hidden = 16;
+    cfg.layers = 1;
+    cfg.num_classes = 4;
+    cfg.prereorganized = s.prereorganized_gat;
+    cfg.builtin_softmax = s.builtin_softmax;
+    return build_gat(cfg, rng);
+  };
+  auto stash_of = [&](const Strategy& s) {
+    Rng rng(4242);
+    ModelGraph m = build(rng, s);
+    Compiled c = compile_model(std::move(m), s, true);
+    MemoryPool pool;
+    Trainer t(std::move(c), g, features.clone(MemTag::kInput, &pool), Tensor{},
+              &pool);
+    t.train_step(labels, 0.f);
+    return pool.peak_breakdown(MemTag::kStash);
+  };
+  const std::size_t unfused = stash_of(ours_no_fusion());
+  const std::size_t stash = stash_of(ours_fusion_stash());
+  const std::size_t recompute = stash_of(ours());
+  EXPECT_LT(recompute, stash);
+  EXPECT_LE(stash, unfused);
+}
+
+}  // namespace
+}  // namespace triad

@@ -1,0 +1,144 @@
+// Failure injection: out-of-memory mid-run, malformed IR, bad bindings —
+// the system must throw typed errors and leave the accounting consistent
+// (no leaked bytes, no corrupted pool) so callers can recover, as the
+// Figure-11 harness does when probing the fits/OOM boundary.
+#include <gtest/gtest.h>
+
+#include "baselines/strategy.h"
+#include "engine/executor.h"
+#include "graph/generators.h"
+#include "ir/autodiff.h"
+#include "models/models.h"
+#include "models/trainer.h"
+#include "tensor/ops.h"
+#include "support/rng.h"
+
+namespace triad {
+namespace {
+
+Graph small_graph() {
+  Rng rng(41);
+  return gen::erdos_renyi(20, 120, rng);
+}
+
+TEST(FailureInjection, OomMidRunLeavesPoolConsistent) {
+  Graph g = small_graph();
+  IrGraph ir;
+  const int x = ir.input(Space::Vertex, 0, 64, "x");
+  // Chain that allocates several big edge tensors.
+  const int e1 = ir.scatter(ScatterFn::SubUV, x, x);
+  const int e2 = ir.apply_unary(ApplyFn::ReLU, e1);
+  const int e3 = ir.apply_unary(ApplyFn::Exp, e2);
+  const int v = ir.gather(ReduceFn::Sum, e3);
+  ir.mark_output(v);
+
+  MemoryPool pool;
+  // Enough for the input + one edge tensor, not two.
+  pool.set_capacity(20 * 64 * 4 + 120 * 64 * 4 + 1024);
+  {
+    Executor ex(g, ir, &pool);
+    ex.bind(x, Tensor::zeros(20, 64, MemTag::kInput, &pool));
+    EXPECT_THROW(ex.run(), OutOfMemory);
+  }
+  // Executor destroyed: everything it allocated must be returned.
+  EXPECT_EQ(pool.live_bytes(), 0u);
+}
+
+TEST(FailureInjection, OomRecoveryRetryAtLargerCapacity) {
+  // The Fig. 11 pattern: probe, catch, retry with a larger device.
+  Graph g = small_graph();
+  Rng rng(1);
+  GcnConfig cfg;
+  cfg.in_dim = 16;
+  cfg.hidden = {32};
+  cfg.num_classes = 3;
+  IntTensor labels(20, 1);
+  for (int i = 0; i < 20; ++i) labels.at(i, 0) = i % 3;
+
+  auto attempt = [&](std::size_t cap) {
+    Rng mrng(5);
+    Compiled c = compile_model(build_gcn(cfg, mrng), dgl_like(), true);
+    MemoryPool pool;
+    pool.set_capacity(cap);
+    Rng frng(6);
+    Trainer t(std::move(c), g,
+              Tensor::randn(20, 16, frng, 1.f, MemTag::kInput, &pool), Tensor{},
+              &pool);
+    t.train_step(labels, 0.01f);
+  };
+  EXPECT_THROW(attempt(8 * 1024), OutOfMemory);
+  EXPECT_NO_THROW(attempt(64 * 1024 * 1024));
+}
+
+TEST(FailureInjection, CyclicIrRejected) {
+  IrGraph ir;
+  Node n;
+  n.kind = OpKind::Apply;
+  n.afn = ApplyFn::ReLU;
+  n.inputs = {0};  // self-reference at id 0
+  EXPECT_THROW(ir.append(std::move(n)), Error);
+}
+
+TEST(FailureInjection, ForwardInputBoundToWrongSpaceThrows) {
+  Graph g = small_graph();
+  IrGraph ir;
+  const int x = ir.input(Space::Edge, 0, 4, "edge_feat");
+  const int v = ir.gather(ReduceFn::Sum, x);
+  ir.mark_output(v);
+  Executor ex(g, ir);
+  // Edge-space input needs |E| = 120 rows; 20 is wrong.
+  EXPECT_THROW(ex.bind(x, Tensor::zeros(20, 4)), Error);
+}
+
+TEST(FailureInjection, MissingParamGradDetected) {
+  // A param that the output does not depend on must be reported by
+  // compile_model rather than silently skipped.
+  Rng rng(2);
+  ModelGraph m;
+  m.features = m.ir.input(Space::Vertex, 0, 4, "features");
+  const int w_used = m.ir.param(4, 4, "used");
+  m.params.push_back(w_used);
+  m.init.push_back(Tensor::xavier(4, 4, rng));
+  const int orphan = m.ir.param(4, 4, "orphan");
+  m.params.push_back(orphan);
+  m.init.push_back(Tensor::xavier(4, 4, rng));
+  m.output = m.ir.linear(m.features, w_used);
+  m.ir.mark_output(m.output);
+  EXPECT_THROW(compile_model(std::move(m), naive(), /*training=*/true), Error);
+}
+
+TEST(FailureInjection, BackwardBeforeForwardThrows) {
+  Graph g = small_graph();
+  IrGraph ir;
+  const int x = ir.input(Space::Vertex, 0, 4, "x");
+  const int w = ir.param(4, 4, "w");
+  const int y = ir.linear(x, w);
+  ir.mark_output(y);
+  build_backward(ir, y);
+  Executor ex(g, ir);
+  EXPECT_THROW(ex.run_backward(), Error);
+}
+
+TEST(FailureInjection, ResultOfFreedNodeThrows) {
+  Graph g = small_graph();
+  IrGraph ir;
+  const int x = ir.input(Space::Vertex, 0, 4, "x");
+  const int mid = ir.apply_unary(ApplyFn::ReLU, x);
+  const int out = ir.apply_unary(ApplyFn::Neg, mid);
+  ir.mark_output(out);
+  Executor ex(g, ir);
+  ex.bind(x, Tensor::zeros(20, 4));
+  ex.run();
+  EXPECT_THROW(ex.result(mid), Error);  // freed eagerly
+  EXPECT_NO_THROW(ex.result(out));
+}
+
+TEST(FailureInjection, LabelsOutOfRangeThrow) {
+  Tensor logits = Tensor::zeros(4, 3);
+  IntTensor labels(4, 1);
+  labels.fill(7);
+  EXPECT_THROW(ops::softmax_cross_entropy(logits, labels, nullptr), Error);
+}
+
+}  // namespace
+}  // namespace triad

@@ -1,0 +1,132 @@
+// Unit tests for the operator IR: builder shape rules, validation, dump.
+#include <gtest/gtest.h>
+
+#include "ir/graph.h"
+
+namespace triad {
+namespace {
+
+TEST(Ir, BuilderAssignsTopologicalIds) {
+  IrGraph g;
+  const int x = g.input(Space::Vertex, 0, 8, "x");
+  const int w = g.param(8, 4, "w");
+  const int y = g.linear(x, w);
+  EXPECT_EQ(x, 0);
+  EXPECT_EQ(w, 1);
+  EXPECT_EQ(y, 2);
+  EXPECT_EQ(g.node(y).cols, 4);
+  EXPECT_EQ(g.node(y).space, Space::Vertex);
+}
+
+TEST(Ir, ScatterShapes) {
+  IrGraph g;
+  const int a = g.input(Space::Vertex, 0, 6, "a");
+  const int b = g.input(Space::Vertex, 0, 6, "b");
+  EXPECT_EQ(g.node(g.scatter(ScatterFn::CopyU, a, -1)).cols, 6);
+  EXPECT_EQ(g.node(g.scatter(ScatterFn::AddUV, a, b)).cols, 6);
+  EXPECT_EQ(g.node(g.scatter(ScatterFn::ConcatUV, a, b)).cols, 12);
+  EXPECT_EQ(g.node(g.scatter(ScatterFn::DotUV, a, b, "", 2)).cols, 2);
+  const int e = g.scatter(ScatterFn::SubUV, a, b);
+  EXPECT_EQ(g.node(e).space, Space::Edge);
+}
+
+TEST(Ir, ScatterWidthMismatchThrows) {
+  IrGraph g;
+  const int a = g.input(Space::Vertex, 0, 6, "a");
+  const int b = g.input(Space::Vertex, 0, 4, "b");
+  EXPECT_THROW(g.scatter(ScatterFn::AddUV, a, b), Error);
+}
+
+TEST(Ir, ScatterRejectsEdgeInput) {
+  IrGraph g;
+  const int a = g.input(Space::Vertex, 0, 6, "a");
+  const int e = g.scatter(ScatterFn::CopyU, a, -1);
+  EXPECT_THROW(g.scatter(ScatterFn::CopyU, e, -1), Error);
+}
+
+TEST(Ir, GatherRequiresEdgeInput) {
+  IrGraph g;
+  const int a = g.input(Space::Vertex, 0, 6, "a");
+  EXPECT_THROW(g.gather(ReduceFn::Sum, a), Error);
+  const int e = g.scatter(ScatterFn::CopyU, a, -1);
+  const int v = g.gather(ReduceFn::Max, e);
+  EXPECT_EQ(g.node(v).space, Space::Vertex);
+  EXPECT_EQ(g.node(v).cols, 6);
+}
+
+TEST(Ir, ApplyBinarySpaceRule) {
+  IrGraph g;
+  const int a = g.input(Space::Vertex, 0, 6, "a");
+  const int e = g.scatter(ScatterFn::CopyU, a, -1);
+  EXPECT_THROW(g.apply_binary(ApplyFn::Add, a, e), Error);
+}
+
+TEST(Ir, MulHeadShapes) {
+  IrGraph g;
+  const int a = g.input(Space::Edge, 0, 8, "feat");   // 2 heads × 4
+  const int s = g.input(Space::Edge, 0, 2, "scores");
+  const int y = g.apply_binary(ApplyFn::MulHead, a, s, "", 2);
+  EXPECT_EQ(g.node(y).cols, 8);
+  const int d = g.apply_binary(ApplyFn::DotHead, a, a, "", 2);
+  EXPECT_EQ(g.node(d).cols, 2);
+}
+
+TEST(Ir, HeadSumBroadcastShapes) {
+  IrGraph g;
+  const int a = g.input(Space::Vertex, 0, 12, "a");
+  const int s = g.apply_head(ApplyFn::HeadSum, a, 3, 1.f / 3.f);
+  EXPECT_EQ(g.node(s).cols, 4);
+  const int b = g.apply_head(ApplyFn::HeadBroadcast, s, 3, 1.f);
+  EXPECT_EQ(g.node(b).cols, 12);
+}
+
+TEST(Ir, LinearRowWindow) {
+  IrGraph g;
+  const int x = g.input(Space::Vertex, 0, 4, "x");
+  const int w = g.param(8, 2, "w");
+  const int y = g.linear(x, w, 0, 4);
+  EXPECT_EQ(g.node(y).cols, 2);
+  // Window size must equal the input width.
+  EXPECT_THROW(g.linear(x, w, 0, 6), Error);
+}
+
+TEST(Ir, SliceColsBounds) {
+  IrGraph g;
+  const int x = g.input(Space::Vertex, 0, 8, "x");
+  const int s = g.slice_cols(x, 2, 5);
+  EXPECT_EQ(g.node(s).cols, 3);
+  EXPECT_THROW(g.slice_cols(x, 5, 5), Error);
+  EXPECT_THROW(g.slice_cols(x, 0, 9), Error);
+}
+
+TEST(Ir, ValidateAcceptsWellFormed) {
+  IrGraph g;
+  const int x = g.input(Space::Vertex, 0, 4, "x");
+  const int e = g.scatter(ScatterFn::CopyU, x, -1);
+  const int v = g.gather(ReduceFn::Sum, e);
+  g.mark_output(v);
+  EXPECT_NO_THROW(g.validate(10, 20));
+}
+
+TEST(Ir, DumpContainsOps) {
+  IrGraph g;
+  const int x = g.input(Space::Vertex, 0, 4, "x");
+  const int e = g.scatter(ScatterFn::SubUV, x, x);
+  g.gather(ReduceFn::Max, e);
+  const std::string d = g.dump();
+  EXPECT_NE(d.find("u_sub_v"), std::string::npos);
+  EXPECT_NE(d.find("Gather.max"), std::string::npos);
+}
+
+TEST(Ir, ExpensiveClassification) {
+  IrGraph g;
+  const int x = g.input(Space::Vertex, 0, 4, "x");
+  const int w = g.param(4, 4, "w");
+  const int lin = g.linear(x, w);
+  const int act = g.apply_unary(ApplyFn::ReLU, lin);
+  EXPECT_TRUE(g.node(lin).is_expensive());
+  EXPECT_FALSE(g.node(act).is_expensive());
+}
+
+}  // namespace
+}  // namespace triad

@@ -1,0 +1,104 @@
+// Tests for point-cloud synthesis and exact k-NN graph construction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/knn.h"
+
+namespace triad {
+namespace {
+
+TEST(Knn, ExactNeighboursOnALine) {
+  // Points on a line at x = 0, 1, 2, 10: kNN(k=2) of 0 is {1, 2}.
+  Tensor pts(4, 1);
+  pts.at(0, 0) = 0.f;
+  pts.at(1, 0) = 1.f;
+  pts.at(2, 0) = 2.f;
+  pts.at(3, 0) = 10.f;
+  auto edges = knn_edges(pts, 2);
+  EXPECT_EQ(edges.size(), 8u);
+  // Edges into vertex 0 come from 1 and 2.
+  std::set<int> into0;
+  for (const Edge& e : edges) {
+    if (e.dst == 0) into0.insert(e.src);
+  }
+  EXPECT_EQ(into0, (std::set<int>{1, 2}));
+  // Vertex 3's neighbours are 2 and 1.
+  std::set<int> into3;
+  for (const Edge& e : edges) {
+    if (e.dst == 3) into3.insert(e.src);
+  }
+  EXPECT_EQ(into3, (std::set<int>{1, 2}));
+}
+
+TEST(Knn, EveryVertexGetsExactlyK) {
+  Rng rng(2);
+  Tensor pts = synthetic_point_cloud(50, 3, 7, rng);
+  auto edges = knn_edges(pts, 5);
+  std::vector<int> indeg(50, 0);
+  for (const Edge& e : edges) {
+    EXPECT_NE(e.src, e.dst);  // no self loops
+    ++indeg[e.dst];
+  }
+  for (int v = 0; v < 50; ++v) EXPECT_EQ(indeg[v], 5);
+}
+
+TEST(Knn, KMustBeLessThanN) {
+  Tensor pts(3, 2);
+  pts.fill(0.f);
+  EXPECT_THROW(knn_edges(pts, 3), Error);
+  EXPECT_THROW(knn_edges(pts, 0), Error);
+}
+
+TEST(Knn, SyntheticCloudOnShells) {
+  Rng rng(3);
+  Tensor pts = synthetic_point_cloud(200, 3, 0, rng);
+  // Each point's radius near one of the two category shells.
+  int near_shell = 0;
+  for (int i = 0; i < 200; ++i) {
+    float r2 = 0;
+    for (int j = 0; j < 3; ++j) r2 += pts.at(i, j) * pts.at(i, j);
+    const float r = std::sqrt(r2);
+    if (std::fabs(r - 0.4f) < 0.12f || std::fabs(r - 0.2f) < 0.12f) {
+      ++near_shell;
+    }
+  }
+  EXPECT_GT(near_shell, 180);
+}
+
+TEST(Knn, BatchIsBlockDiagonal) {
+  Rng rng(4);
+  PointCloudBatch batch = make_point_cloud_batch(32, 3, 4, 10, rng);
+  EXPECT_EQ(batch.graph.num_vertices(), 96);
+  EXPECT_EQ(batch.graph.num_edges(), 96 * 4);
+  EXPECT_EQ(batch.coords.rows(), 96);
+  EXPECT_EQ(batch.labels.rows(), 3);
+  // No edge crosses a cloud boundary.
+  for (std::int64_t e = 0; e < batch.graph.num_edges(); ++e) {
+    EXPECT_EQ(batch.graph.edge_src()[e] / 32, batch.graph.edge_dst()[e] / 32);
+  }
+  for (std::int64_t b = 0; b < 3; ++b) {
+    EXPECT_GE(batch.labels.at(b, 0), 0);
+    EXPECT_LT(batch.labels.at(b, 0), 10);
+  }
+}
+
+TEST(Knn, DifferentCategoriesDifferentShells) {
+  Rng rng(5);
+  Tensor a = synthetic_point_cloud(100, 3, 0, rng);
+  Tensor b = synthetic_point_cloud(100, 3, 4, rng);
+  double ra = 0, rb = 0;
+  for (int i = 0; i < 100; ++i) {
+    double r2a = 0, r2b = 0;
+    for (int j = 0; j < 3; ++j) {
+      r2a += a.at(i, j) * a.at(i, j);
+      r2b += b.at(i, j) * b.at(i, j);
+    }
+    ra += std::sqrt(r2a);
+    rb += std::sqrt(r2b);
+  }
+  EXPECT_GT(std::fabs(ra - rb) / 100.0, 0.1);
+}
+
+}  // namespace
+}  // namespace triad

@@ -1,0 +1,107 @@
+// Unit tests for MemoryPool accounting (the basis of all memory numbers).
+#include <gtest/gtest.h>
+
+#include "tensor/mempool.h"
+#include "tensor/tensor.h"
+
+namespace triad {
+namespace {
+
+TEST(MemoryPool, LiveAndPeakTracking) {
+  MemoryPool pool;
+  float* a = pool.alloc_f32(100, MemTag::kActivations);
+  EXPECT_EQ(pool.live_bytes(), 400u);
+  float* b = pool.alloc_f32(50, MemTag::kStash);
+  EXPECT_EQ(pool.live_bytes(), 600u);
+  EXPECT_EQ(pool.peak_bytes(), 600u);
+  pool.free_f32(a, 100, MemTag::kActivations);
+  EXPECT_EQ(pool.live_bytes(), 200u);
+  EXPECT_EQ(pool.peak_bytes(), 600u);  // peak sticks
+  pool.free_f32(b, 50, MemTag::kStash);
+  EXPECT_EQ(pool.live_bytes(), 0u);
+}
+
+TEST(MemoryPool, PerTagBreakdownAtPeak) {
+  MemoryPool pool;
+  float* w = pool.alloc_f32(10, MemTag::kWeights);
+  float* s = pool.alloc_f32(30, MemTag::kStash);
+  EXPECT_EQ(pool.peak_breakdown(MemTag::kWeights), 40u);
+  EXPECT_EQ(pool.peak_breakdown(MemTag::kStash), 120u);
+  pool.free_f32(s, 30, MemTag::kStash);
+  pool.free_f32(w, 10, MemTag::kWeights);
+}
+
+TEST(MemoryPool, CapacityEnforced) {
+  MemoryPool pool;
+  pool.set_capacity(1000);
+  float* a = pool.alloc_f32(200, MemTag::kActivations);  // 800 B
+  EXPECT_THROW(pool.alloc_f32(100, MemTag::kActivations), OutOfMemory);
+  // Live set unchanged after the failed allocation.
+  EXPECT_EQ(pool.live_bytes(), 800u);
+  pool.free_f32(a, 200, MemTag::kActivations);
+  // Fits now.
+  float* b = pool.alloc_f32(100, MemTag::kActivations);
+  pool.free_f32(b, 100, MemTag::kActivations);
+}
+
+TEST(MemoryPool, OutOfMemoryCarriesContext) {
+  MemoryPool pool;
+  pool.set_capacity(100);
+  try {
+    pool.alloc_f32(1000, MemTag::kGradient);
+    FAIL();
+  } catch (const OutOfMemory& oom) {
+    EXPECT_EQ(oom.requested, 4000u);
+    EXPECT_EQ(oom.capacity, 100u);
+  }
+}
+
+TEST(MemoryPool, ResetPeak) {
+  MemoryPool pool;
+  float* a = pool.alloc_f32(100, MemTag::kActivations);
+  pool.free_f32(a, 100, MemTag::kActivations);
+  EXPECT_EQ(pool.peak_bytes(), 400u);
+  pool.reset_peak();
+  EXPECT_EQ(pool.peak_bytes(), 0u);
+}
+
+TEST(MemoryPool, FreeUnderflowThrows) {
+  MemoryPool pool;
+  float* a = pool.alloc_f32(10, MemTag::kActivations);
+  // Freeing with the wrong tag breaks the per-tag ledger.
+  EXPECT_THROW(pool.free_f32(a, 10, MemTag::kStash), Error);
+  pool.free_f32(a, 10, MemTag::kActivations);
+}
+
+TEST(MemoryPool, TensorsReturnStorageOnDestruction) {
+  MemoryPool pool;
+  {
+    Tensor t(100, 10, MemTag::kActivations, &pool);
+    EXPECT_EQ(pool.live_bytes(), 4000u);
+    Tensor shared = t;  // second handle, same storage
+    t.reset();
+    EXPECT_EQ(pool.live_bytes(), 4000u);  // still referenced
+  }
+  EXPECT_EQ(pool.live_bytes(), 0u);
+}
+
+TEST(MemoryPool, IntTensorAccounted) {
+  MemoryPool pool;
+  {
+    IntTensor t(10, 10, MemTag::kStash, &pool);
+    EXPECT_EQ(pool.live_bytes(), 400u);
+    EXPECT_EQ(pool.live_bytes(MemTag::kStash), 400u);
+  }
+  EXPECT_EQ(pool.live_bytes(), 0u);
+}
+
+TEST(MemoryPool, ReportMentionsTags) {
+  MemoryPool pool;
+  float* a = pool.alloc_f32(256, MemTag::kWeights);
+  const std::string r = pool.report();
+  EXPECT_NE(r.find("weights"), std::string::npos);
+  pool.free_f32(a, 256, MemTag::kWeights);
+}
+
+}  // namespace
+}  // namespace triad

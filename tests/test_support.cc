@@ -1,0 +1,143 @@
+// Unit tests for src/support: macros, RNG, counters, parallel primitives.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "support/counters.h"
+#include "support/macros.h"
+#include "support/parallel.h"
+#include "support/rng.h"
+#include "support/timer.h"
+
+namespace triad {
+namespace {
+
+TEST(Macros, CheckThrowsWithMessage) {
+  try {
+    TRIAD_CHECK(1 == 2, "custom context " << 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("custom context 42"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Macros, ComparisonsPassAndFail) {
+  EXPECT_NO_THROW(TRIAD_CHECK_EQ(3, 3));
+  EXPECT_NO_THROW(TRIAD_CHECK_LT(1, 2));
+  EXPECT_NO_THROW(TRIAD_CHECK_GE(2, 2));
+  EXPECT_THROW(TRIAD_CHECK_EQ(3, 4), Error);
+  EXPECT_THROW(TRIAD_CHECK_GT(1, 1), Error);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng r(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(r.uniform_int(10));
+  EXPECT_EQ(seen.size(), 10u);
+  for (auto v : seen) EXPECT_LT(v, 10u);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(42);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Counters, DeltaAndAccumulate) {
+  PerfCounters& c = global_counters();
+  const PerfCounters before = c;
+  CounterScope scope;
+  c.dram_read_bytes += 100;
+  c.flops += 5;
+  const PerfCounters d = scope.delta();
+  EXPECT_EQ(d.dram_read_bytes, 100u);
+  EXPECT_EQ(d.flops, 5u);
+  EXPECT_EQ(d.io_bytes(), 100u);
+  c = before;
+}
+
+TEST(Counters, HumanBytes) {
+  EXPECT_EQ(human_bytes(512), "512.00 B");
+  EXPECT_EQ(human_bytes(2048), "2.00 KiB");
+  EXPECT_EQ(human_bytes(std::uint64_t{3} << 30), "3.00 GiB");
+}
+
+TEST(Parallel, ForCoversAllIndices) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(0, 1000, [&](std::int64_t i) { hits[i].fetch_add(1); }, 16);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, ChunksPartitionRange) {
+  std::atomic<std::int64_t> total{0};
+  parallel_for_chunks(5, 1005, [&](std::int64_t lo, std::int64_t hi) {
+    total.fetch_add(hi - lo);
+  }, 64);
+  EXPECT_EQ(total.load(), 1000);
+}
+
+TEST(Parallel, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for(3, 3, [&](std::int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Parallel, AtomicAddAccumulates) {
+  float x = 0.f;
+  parallel_for(0, 1000, [&](std::int64_t) { atomic_add(&x, 0.5f); }, 8);
+  EXPECT_FLOAT_EQ(x, 500.f);
+}
+
+TEST(Parallel, AtomicMaxKeepsMaximum) {
+  float x = -1e30f;
+  parallel_for(0, 100, [&](std::int64_t i) {
+    atomic_max(&x, static_cast<float>(i));
+  }, 4);
+  EXPECT_FLOAT_EQ(x, 99.f);
+}
+
+TEST(Timer, MeasuresElapsedAndResets) {
+  Timer t;
+  // Busy-wait past the clock resolution.
+  while (t.seconds() <= 0.0) {
+  }
+  const double first = t.seconds();
+  EXPECT_GT(first, 0.0);
+  t.reset();
+  EXPECT_LE(t.seconds(), first + 1.0);
+}
+
+}  // namespace
+}  // namespace triad

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   print_header("Figure 10 — recomputation ablation (training)",
                "w/o-fusion | fusion+stash | fusion+recompute; GAT h=4 f=64 "
                "and MoNet k=2 r=1 f=16 on reddit");
+  JsonReport rep("fig10_recompute", opt);
 
   {  // GAT h=4 f=64 on Reddit.
     Rng rng(opt.seed);
@@ -30,15 +31,15 @@ int main(int argc, char** argv) {
       cfg.num_classes = data.num_classes;
       cfg.prereorganized = s.prereorganized_gat;
       cfg.builtin_softmax = s.builtin_softmax;
-      Compiled c = compile_model(build_gat(cfg, mrng), s, true);
+      Compiled c = compile_model(build_gat(cfg, mrng), s, true, data.graph);
       MemoryPool pool;
       return measure_training(std::move(c), data.graph, data.features, Tensor{},
                               data.labels, opt.steps, true, &pool);
     };
     const Measurement b = run(ours_no_fusion());
-    print_row("GAT/reddit", "w/o-fusion", b, b);
-    print_row("GAT/reddit", "fusion+stash", run(ours_fusion_stash()), b);
-    print_row("GAT/reddit", "fusion+recomp", run(ours()), b);
+    rep.row("GAT/reddit", "w/o-fusion", b, b);
+    rep.row("GAT/reddit", "fusion+stash", run(ours_fusion_stash()), b);
+    rep.row("GAT/reddit", "fusion+recomp", run(ours()), b);
   }
 
   {  // MoNet k=2 r=1 on Reddit.
@@ -54,17 +55,18 @@ int main(int argc, char** argv) {
       cfg.kernels = 2;
       cfg.pseudo_dim = 1;
       cfg.num_classes = data.num_classes;
-      Compiled c = compile_model(build_monet(cfg, mrng), s, true);
+      Compiled c = compile_model(build_monet(cfg, mrng), s, true, data.graph);
       MemoryPool pool;
       return measure_training(std::move(c), data.graph, data.features, pseudo,
                               data.labels, opt.steps, true, &pool);
     };
     const Measurement b = run(ours_no_fusion());
-    print_row("MoNet/reddit", "w/o-fusion", b, b);
-    print_row("MoNet/reddit", "fusion+stash", run(ours_fusion_stash()), b);
-    print_row("MoNet/reddit", "fusion+recomp", run(ours()), b);
+    rep.row("MoNet/reddit", "w/o-fusion", b, b);
+    rep.row("MoNet/reddit", "fusion+stash", run(ours_fusion_stash()), b);
+    rep.row("MoNet/reddit", "fusion+recomp", run(ours()), b);
   }
 
   print_footnote(opt);
+  rep.write();
   return 0;
 }

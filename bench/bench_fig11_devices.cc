@@ -9,7 +9,11 @@
 // the paper's headroom: DGL's Reddit GAT run occupies 13.7 of the 3090's
 // 24 GB, so cap(3090) = measured_DGL_peak * 24/13.7 and cap(2080) = 8/24 of
 // that — the fits/OOM boundary is then scale-invariant.
-#include <functional>
+//
+// Each strategy is compiled ONCE per workload; the peak probe and every
+// device configuration execute the same shared ExecutionPlan — the
+// compile-once/serve-many pattern the plan split exists for.
+#include <memory>
 
 #include "bench_common.h"
 
@@ -26,17 +30,17 @@ struct DeviceRun {
   std::size_t peak = 0;
 };
 
-DeviceRun run_capped(const std::function<Compiled()>& make, const Graph& g,
-                     const Tensor& features, const Tensor& pseudo,
-                     const IntTensor& labels, const DeviceProfile& dev,
-                     std::size_t capacity, int steps) {
+DeviceRun run_capped(const std::shared_ptr<const Compiled>& model,
+                     const Graph& g, const Tensor& features,
+                     const Tensor& pseudo, const IntTensor& labels,
+                     const DeviceProfile& dev, std::size_t capacity,
+                     int steps) {
   MemoryPool pool;
   pool.set_capacity(capacity);
   DeviceRun r;
   try {
-    Compiled c = make();
-    const bool has_pseudo = c.pseudo >= 0;
-    Trainer trainer(std::move(c), g, features.clone(MemTag::kInput, &pool),
+    const bool has_pseudo = model->pseudo >= 0;
+    Trainer trainer(model, g, features.clone(MemTag::kInput, &pool),
                     has_pseudo ? pseudo.clone(MemTag::kInput, &pool) : Tensor{},
                     &pool);
     trainer.train_step(labels, 1e-3f);  // warmup
@@ -55,13 +59,12 @@ DeviceRun run_capped(const std::function<Compiled()>& make, const Graph& g,
 }
 
 /// Uncapped run measuring the DGL-like peak (the normalization reference).
-std::size_t measure_peak(const std::function<Compiled()>& make, const Graph& g,
-                         const Tensor& features, const Tensor& pseudo,
-                         const IntTensor& labels) {
+std::size_t measure_peak(const std::shared_ptr<const Compiled>& model,
+                         const Graph& g, const Tensor& features,
+                         const Tensor& pseudo, const IntTensor& labels) {
   MemoryPool pool;
-  Compiled c = make();
-  const bool has_pseudo = c.pseudo >= 0;
-  Trainer trainer(std::move(c), g, features.clone(MemTag::kInput, &pool),
+  const bool has_pseudo = model->pseudo >= 0;
+  Trainer trainer(model, g, features.clone(MemTag::kInput, &pool),
                   has_pseudo ? pseudo.clone(MemTag::kInput, &pool) : Tensor{},
                   &pool);
   trainer.train_step(labels, 1e-3f);
@@ -85,13 +88,13 @@ struct Workload {
   const Tensor* features;
   const Tensor* pseudo;
   const IntTensor* labels;
-  std::function<Compiled()> make_dgl;
-  std::function<Compiled()> make_ours;
+  std::shared_ptr<const Compiled> dgl;   ///< compiled once, shared by all runs
+  std::shared_ptr<const Compiled> ours;
 };
 
 void run_workload(const Workload& w, int steps) {
   const std::size_t dgl_peak =
-      measure_peak(w.make_dgl, *w.graph, *w.features,
+      measure_peak(w.dgl, *w.graph, *w.features,
                    w.pseudo != nullptr ? *w.pseudo : Tensor{}, *w.labels);
   const auto cap3090 = static_cast<std::size_t>(
       static_cast<double>(dgl_peak) / kPaperDglOccupancy);
@@ -99,17 +102,17 @@ void run_workload(const Workload& w, int steps) {
   const Tensor& pseudo = w.pseudo != nullptr ? *w.pseudo : Tensor{};
 
   print_device_row(w.name, "DGL @ RTX3090",
-                   run_capped(w.make_dgl, *w.graph, *w.features, pseudo,
-                              *w.labels, rtx3090(), cap3090, steps));
+                   run_capped(w.dgl, *w.graph, *w.features, pseudo, *w.labels,
+                              rtx3090(), cap3090, steps));
   print_device_row(w.name, "DGL @ RTX2080",
-                   run_capped(w.make_dgl, *w.graph, *w.features, pseudo,
-                              *w.labels, rtx2080(), cap2080, steps));
+                   run_capped(w.dgl, *w.graph, *w.features, pseudo, *w.labels,
+                              rtx2080(), cap2080, steps));
   print_device_row(w.name, "Ours @ RTX3090",
-                   run_capped(w.make_ours, *w.graph, *w.features, pseudo,
-                              *w.labels, rtx3090(), cap3090, steps));
+                   run_capped(w.ours, *w.graph, *w.features, pseudo, *w.labels,
+                              rtx3090(), cap3090, steps));
   print_device_row(w.name, "Ours @ RTX2080",
-                   run_capped(w.make_ours, *w.graph, *w.features, pseudo,
-                              *w.labels, rtx2080(), cap2080, steps));
+                   run_capped(w.ours, *w.graph, *w.features, pseudo, *w.labels,
+                              rtx2080(), cap2080, steps));
 }
 
 }  // namespace
@@ -121,25 +124,21 @@ int main(int argc, char** argv) {
   std::printf("%-22s %-22s %12s %12s\n", "workload", "config", "latency(ms)",
               "memory");
 
-  const DeviceProfile gpu3090 = rtx3090();
-  (void)gpu3090;
-
   {  // GAT h=4 f=64, 2 layers, on reddit.
     Rng rng(opt.seed);
     Dataset data = make_dataset("reddit", rng, opt.reddit_scale, opt.feat_scale);
     auto make = [&](const Strategy& s) {
-      return std::function<Compiled()>([&, s] {
-        Rng mrng(opt.seed + 1);
-        GatConfig cfg;
-        cfg.in_dim = data.features.cols();
-        cfg.hidden = 64;
-        cfg.heads = 4;
-        cfg.layers = 2;
-        cfg.num_classes = data.num_classes;
-        cfg.prereorganized = s.prereorganized_gat;
-        cfg.builtin_softmax = s.builtin_softmax;
-        return compile_model(build_gat(cfg, mrng), s, true);
-      });
+      Rng mrng(opt.seed + 1);
+      GatConfig cfg;
+      cfg.in_dim = data.features.cols();
+      cfg.hidden = 64;
+      cfg.heads = 4;
+      cfg.layers = 2;
+      cfg.num_classes = data.num_classes;
+      cfg.prereorganized = s.prereorganized_gat;
+      cfg.builtin_softmax = s.builtin_softmax;
+      return std::make_shared<const Compiled>(
+          compile_model(build_gat(cfg, mrng), s, true, data.graph));
     };
     Workload w{"GAT/reddit", &data.graph, &data.features, nullptr, &data.labels,
                make(dgl_like()), make(ours())};
@@ -154,14 +153,13 @@ int main(int argc, char** argv) {
       labels.at(v, 0) = pc.labels.at(v / opt.points, 0);
     }
     auto make = [&](const Strategy& s) {
-      return std::function<Compiled()>([&, s] {
-        Rng mrng(opt.seed + 1);
-        EdgeConvConfig cfg;
-        cfg.in_dim = 3;
-        cfg.hidden = {64, 64, 128, 256};
-        cfg.num_classes = 40;
-        return compile_model(build_edgeconv(cfg, mrng), s, true);
-      });
+      Rng mrng(opt.seed + 1);
+      EdgeConvConfig cfg;
+      cfg.in_dim = 3;
+      cfg.hidden = {64, 64, 128, 256};
+      cfg.num_classes = 40;
+      return std::make_shared<const Compiled>(
+          compile_model(build_edgeconv(cfg, mrng), s, true, pc.graph));
     };
     Workload w{"EdgeConv/k40", &pc.graph, &pc.coords, nullptr, &labels,
                make(dgl_like()), make(ours())};
@@ -173,17 +171,16 @@ int main(int argc, char** argv) {
     Dataset data = make_dataset("reddit", rng, opt.reddit_scale, opt.feat_scale);
     Tensor pseudo = make_pseudo_coords(data.graph, 1);
     auto make = [&](const Strategy& s) {
-      return std::function<Compiled()>([&, s] {
-        Rng mrng(opt.seed + 1);
-        MoNetConfig cfg;
-        cfg.in_dim = data.features.cols();
-        cfg.hidden = 16;
-        cfg.layers = 2;
-        cfg.kernels = 2;
-        cfg.pseudo_dim = 1;
-        cfg.num_classes = data.num_classes;
-        return compile_model(build_monet(cfg, mrng), s, true);
-      });
+      Rng mrng(opt.seed + 1);
+      MoNetConfig cfg;
+      cfg.in_dim = data.features.cols();
+      cfg.hidden = 16;
+      cfg.layers = 2;
+      cfg.kernels = 2;
+      cfg.pseudo_dim = 1;
+      cfg.num_classes = data.num_classes;
+      return std::make_shared<const Compiled>(
+          compile_model(build_monet(cfg, mrng), s, true, data.graph));
     };
     Workload w{"MoNet/reddit", &data.graph, &data.features, &pseudo,
                &data.labels, make(dgl_like()), make(ours())};

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   print_header(
       "Figure 7 — EdgeConv end-to-end training (4 layers {64,64,128,256})",
       "workload = (k, batch); synthetic ModelNet40 point clouds");
+  JsonReport rep("fig7_edgeconv", opt);
 
   const std::vector<std::pair<int, int>> settings = {
       {20, 32}, {20, 64}, {40, 32}, {40, 64}};
@@ -31,7 +32,7 @@ int main(int argc, char** argv) {
       cfg.in_dim = 3;
       cfg.hidden = {64, 64, 128, 256};
       cfg.num_classes = 40;
-      Compiled c = compile_model(build_edgeconv(cfg, mrng), s, true);
+      Compiled c = compile_model(build_edgeconv(cfg, mrng), s, true, pc.graph);
       MemoryPool pool;
       return measure_training(std::move(c), pc.graph, pc.coords, Tensor{},
                               labels, opt.steps, true, &pool);
@@ -40,10 +41,11 @@ int main(int argc, char** argv) {
     const std::string workload =
         "(" + std::to_string(k) + "," + std::to_string(batch) + ")";
     const Measurement dgl = run(dgl_like());
-    print_row(workload, "DGL", dgl, dgl);
-    print_row(workload, "Ours", run(ours()), dgl);
+    rep.row(workload, "DGL", dgl, dgl);
+    rep.row(workload, "Ours", run(ours()), dgl);
   }
   print_footnote(opt);
+  rep.write();
   std::printf("(points per cloud = %d; paper uses 1024 — pass --points=1024)\n",
               opt.points);
   return 0;

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   print_header("Figure 7 — MoNet end-to-end training (2 layers, hidden 16)",
                "per-dataset gaussian kernels k and pseudo-coord dims r as in "
                "the paper");
+  JsonReport rep("fig7_monet", opt);
 
   struct Setting {
     const char* dataset;
@@ -38,16 +39,17 @@ int main(int argc, char** argv) {
       cfg.kernels = st.k;
       cfg.pseudo_dim = st.r;
       cfg.num_classes = data.num_classes;
-      Compiled c = compile_model(build_monet(cfg, mrng), s, true);
+      Compiled c = compile_model(build_monet(cfg, mrng), s, true, data.graph);
       MemoryPool pool;
       return measure_training(std::move(c), data.graph, data.features, pseudo,
                               data.labels, opt.steps, true, &pool);
     };
 
     const Measurement dgl = run(dgl_like());
-    print_row(st.dataset, "DGL", dgl, dgl);
-    print_row(st.dataset, "Ours", run(ours()), dgl);
+    rep.row(st.dataset, "DGL", dgl, dgl);
+    rep.row(st.dataset, "Ours", run(ours()), dgl);
   }
   print_footnote(opt);
+  rep.write();
   return 0;
 }

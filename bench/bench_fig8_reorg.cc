@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   const Options opt = Options::parse(argc, argv);
   print_header("Figure 8 — operator reorganization ablation (forward only)",
                "baseline: Scatter->ApplyEdge order; reorg: ReorgPass applied");
+  JsonReport rep("fig8_reorg", opt);
 
   Strategy base = naive();
   Strategy reorg = naive();
@@ -32,14 +33,14 @@ int main(int argc, char** argv) {
       cfg.layers = 1;
       cfg.num_classes = data.num_classes;
       cfg.classify_last = false;  // §7.3 ablation shape: h=4, f=64
-      Compiled c = compile_model(build_gat(cfg, mrng), s, /*training=*/false);
+      Compiled c = compile_model(build_gat(cfg, mrng), s, /*training=*/false, data.graph);
       MemoryPool pool;
       return measure_training(std::move(c), data.graph, data.features, Tensor{},
                               data.labels, opt.steps, /*training=*/false, &pool);
     };
     const Measurement b = run(base);
-    print_row("GAT/pubmed", "baseline", b, b);
-    print_row("GAT/pubmed", "reorg", run(reorg), b);
+    rep.row("GAT/pubmed", "baseline", b, b);
+    rep.row("GAT/pubmed", "reorg", run(reorg), b);
   }
 
   {  // EdgeConv, k=40, single layer f=64 (paper's forward-only setting).
@@ -58,16 +59,17 @@ int main(int argc, char** argv) {
       cfg.hidden = {64};
       cfg.num_classes = 40;
       cfg.classify = false;
-      Compiled c = compile_model(build_edgeconv(cfg, mrng), s, false);
+      Compiled c = compile_model(build_edgeconv(cfg, mrng), s, false, pc.graph);
       MemoryPool pool;
       return measure_training(std::move(c), pc.graph, feats64, Tensor{},
                               labels, opt.steps, false, &pool);
     };
     const Measurement b = run(base);
-    print_row("EdgeConv/k40", "baseline", b, b);
-    print_row("EdgeConv/k40", "reorg", run(reorg), b);
+    rep.row("EdgeConv/k40", "baseline", b, b);
+    rep.row("EdgeConv/k40", "reorg", run(reorg), b);
   }
 
   print_footnote(opt);
+  rep.write();
   return 0;
 }

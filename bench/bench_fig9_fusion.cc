@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
   const Options opt = Options::parse(argc, argv);
   print_header("Figure 9 — unified-thread-mapping fusion ablation (forward)",
                "both rows reorganized; second row adds FusionPass(Unified)");
+  JsonReport rep("fig9_fusion", opt);
 
   {  // GAT h=4 f=64 on reddit (paper §7.3 setting).
     Rng rng(opt.seed);
@@ -47,14 +48,14 @@ int main(int argc, char** argv) {
       cfg.layers = 1;
       cfg.num_classes = data.num_classes;
       cfg.classify_last = false;
-      Compiled c = compile_model(build_gat(cfg, mrng), s, false);
+      Compiled c = compile_model(build_gat(cfg, mrng), s, false, data.graph);
       MemoryPool pool;
       return measure_training(std::move(c), data.graph, data.features, Tensor{},
                               data.labels, opt.steps, false, &pool);
     };
     const Measurement b = run(base_strategy());
-    print_row("GAT/reddit", "no-fusion", b, b);
-    print_row("GAT/reddit", "fusion", run(fused_strategy()), b);
+    rep.row("GAT/reddit", "no-fusion", b, b);
+    rep.row("GAT/reddit", "fusion", run(fused_strategy()), b);
   }
 
   {  // EdgeConv k=40 batch=64 single layer f=64.
@@ -72,14 +73,14 @@ int main(int argc, char** argv) {
       cfg.hidden = {64};
       cfg.num_classes = 40;
       cfg.classify = false;
-      Compiled c = compile_model(build_edgeconv(cfg, mrng), s, false);
+      Compiled c = compile_model(build_edgeconv(cfg, mrng), s, false, pc.graph);
       MemoryPool pool;
       return measure_training(std::move(c), pc.graph, feats64, Tensor{},
                               labels, opt.steps, false, &pool);
     };
     const Measurement b = run(base_strategy());
-    print_row("EdgeConv/k40", "no-fusion", b, b);
-    print_row("EdgeConv/k40", "fusion", run(fused_strategy()), b);
+    rep.row("EdgeConv/k40", "no-fusion", b, b);
+    rep.row("EdgeConv/k40", "fusion", run(fused_strategy()), b);
   }
 
   {  // MoNet k=2 r=1 f=16 on reddit.
@@ -96,16 +97,17 @@ int main(int argc, char** argv) {
       cfg.pseudo_dim = 1;
       cfg.num_classes = data.num_classes;
       cfg.classify_last = false;
-      Compiled c = compile_model(build_monet(cfg, mrng), s, false);
+      Compiled c = compile_model(build_monet(cfg, mrng), s, false, data.graph);
       MemoryPool pool;
       return measure_training(std::move(c), data.graph, data.features, pseudo,
                               data.labels, opt.steps, false, &pool);
     };
     const Measurement b = run(base_strategy());
-    print_row("MoNet/reddit", "no-fusion", b, b);
-    print_row("MoNet/reddit", "fusion", run(fused_strategy()), b);
+    rep.row("MoNet/reddit", "no-fusion", b, b);
+    rep.row("MoNet/reddit", "fusion", run(fused_strategy()), b);
   }
 
   print_footnote(opt);
+  rep.write();
   return 0;
 }

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
       cfg.in_dim = 3;
       cfg.hidden = {64, 64, 128, 256};
       cfg.num_classes = 40;
-      Compiled c = compile_model(build_edgeconv(cfg, mrng), s, false);
+      Compiled c = compile_model(build_edgeconv(cfg, mrng), s, false, pc.graph);
       MemoryPool pool;
       const Measurement m = measure_training(std::move(c), pc.graph, pc.coords,
                                              Tensor{}, labels, 1, false, &pool);
@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
     cfg.num_classes = data.num_classes;
     cfg.prereorganized = true;
     cfg.builtin_softmax = true;
-    Compiled c = compile_model(build_gat(cfg, mrng), dgl_like(), true);
+    Compiled c = compile_model(build_gat(cfg, mrng), dgl_like(), true, data.graph);
     MemoryPool pool;
     Trainer t(std::move(c), data.graph,
               data.features.clone(MemTag::kInput, &pool), Tensor{}, &pool);

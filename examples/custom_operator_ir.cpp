@@ -12,7 +12,7 @@
 #include <cstdio>
 
 #include "baselines/strategy.h"
-#include "engine/executor.h"
+#include "engine/plan.h"
 #include "graph/generators.h"
 #include "ir/autodiff.h"
 #include "ir/passes/fusion.h"
@@ -59,15 +59,19 @@ int main() {
   }
 
   // --- Execute both versions and verify they agree -------------------------
+  // Explicit compile/run split: ExecutionPlan::compile is the one-time
+  // analysis, PlanRunner the per-request state. A server would keep the plan
+  // and spin up one runner per request.
   auto run = [&](const IrGraph& graph) {
-    Executor ex(g, graph);
+    auto plan =
+        ExecutionPlan::compile_shared(graph, g.num_vertices(), g.num_edges());
+    std::printf("  plan: %d steps, estimated peak %s\n", plan->size(),
+                human_bytes(plan->estimated_peak_bytes()).c_str());
+    PlanRunner ex(g, plan);
     Rng local(9);
-    for (const Node& n : graph.nodes()) {
+    for (const Node& n : plan->ir().nodes()) {
       if (n.kind == OpKind::Input || n.kind == OpKind::Param) {
-        const std::int64_t rows = n.space == Space::Vertex ? g.num_vertices()
-                                  : n.space == Space::Edge ? g.num_edges()
-                                                           : n.rows;
-        ex.bind(n.id, Tensor::randn(rows, n.cols, local));
+        ex.bind(n.id, Tensor::randn(plan->step(n.id).rows, n.cols, local));
       }
     }
     CounterScope scope;
@@ -75,7 +79,7 @@ int main() {
     std::printf("  io=%s kernels=%llu\n",
                 human_bytes(scope.delta().io_bytes()).c_str(),
                 static_cast<unsigned long long>(scope.delta().kernel_launches));
-    return ex.result(graph.outputs[0]).clone();
+    return ex.result(plan->ir().outputs[0]).clone();
   };
   std::printf("\nunfused run: ");
   Tensor ref = run(ir);

@@ -74,7 +74,7 @@ int main(int argc, char** argv) {
   }
 
   Rng mrng(99);
-  Compiled c = compile_model(build_edgeconv(cfg, mrng), ours(), true);
+  Compiled c = compile_model(build_edgeconv(cfg, mrng), ours(), true, pc.graph);
   MemoryPool pool;
   Trainer trainer(std::move(c), pc.graph,
                   pc.coords.clone(MemTag::kInput, &pool), Tensor{}, &pool);

@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
   // losses coincide while memory/latency differ.
   for (const Strategy& s : {ours_no_fusion(), ours_fusion_stash(), ours()}) {
     Rng mrng(808);
-    Compiled c = compile_model(build_monet(cfg, mrng), s, true);
+    Compiled c = compile_model(build_monet(cfg, mrng), s, true, data.graph);
     MemoryPool pool;
     Trainer trainer(std::move(c), data.graph,
                     data.features.clone(MemTag::kInput, &pool),

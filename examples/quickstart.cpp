@@ -35,11 +35,21 @@ int main() {
   ModelGraph model = build_gcn(cfg, rng);
   std::printf("\nforward IR:\n%s\n", model.ir.dump().c_str());
 
-  // 3. Compile: autodiff appends the backward pass, then the three passes
-  //    (reorg, recompute, unified-mapping fusion) rewrite the graph.
-  Compiled compiled = compile_model(std::move(model), ours(), /*training=*/true);
-  std::printf("compiled to %d nodes, %zu fused kernels\n\n", compiled.ir.size(),
+  // 3. Compile ONCE: the PassManager runs reorg -> autodiff -> recompute ->
+  //    fusion with per-pass timing, and the result is baked into an immutable
+  //    ExecutionPlan for this graph. The epoch loop below only executes the
+  //    plan — no pass or liveness analysis happens inside it.
+  Compiled compiled =
+      compile_model(std::move(model), ours(), /*training=*/true, data.graph);
+  std::printf("compiled to %d nodes, %zu fused kernels\n", compiled.ir.size(),
               compiled.ir.programs.size());
+  for (const PassInfo& p : compiled.stats.passes) {
+    std::printf("  pass %-10s %6.2f ms  %3d -> %3d nodes\n", p.name.c_str(),
+                p.seconds * 1e3, p.nodes_before, p.nodes_after);
+  }
+  std::printf("  plan build %6.2f ms  estimated peak %s\n\n",
+              compiled.stats.plan_seconds * 1e3,
+              human_bytes(compiled.plan->estimated_peak_bytes()).c_str());
 
   // 4. Train full-batch and watch the counters.
   MemoryPool pool;

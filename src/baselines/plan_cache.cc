@@ -1,0 +1,76 @@
+#include "baselines/plan_cache.h"
+
+namespace triad {
+
+std::string PlanKey::str() const {
+  return model + "|" + strategy + (training ? "|train|" : "|infer|") +
+         std::to_string(num_vertices) + "x" + std::to_string(num_edges) +
+         "|f" + std::to_string(feat_dim);
+}
+
+PlanCache& PlanCache::global() {
+  static PlanCache cache;
+  return cache;
+}
+
+std::shared_ptr<const Compiled> PlanCache::find(const PlanKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key.str());
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void PlanCache::insert(const PlanKey& key,
+                       std::shared_ptr<const Compiled> value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[key.str()] = std::move(value);
+}
+
+std::shared_ptr<const Compiled> PlanCache::get_or_compile(
+    const PlanKey& key, const Strategy& s, bool training, const Graph& graph,
+    const std::function<ModelGraph()>& build) {
+  const std::string k = key.str();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(k);
+    if (it != entries_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+  }
+  // Compile outside the lock so a slow compile never blocks hits on other
+  // keys. Same-key racers may compile concurrently; the first insert wins
+  // and everyone is handed the winning artifact.
+  auto compiled = std::make_shared<const Compiled>(
+      compile_model(build(), s, training, graph));
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.emplace(k, std::move(compiled)).first->second;
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::size_t PlanCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::size_t PlanCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  hits_ = misses_ = 0;
+}
+
+}  // namespace triad

@@ -1,0 +1,65 @@
+// Process-wide cache of compiled models (ExecutionPlan + binding map).
+//
+// Serving and benchmarking want compile-once/run-many: the first request for
+// a (model, strategy, graph shape, feature dims) combination pays the pass
+// pipeline and plan build, every later request gets the same immutable
+// artifact by shared pointer. The cache is thread-safe — concurrent
+// requests for the same key compile once, and the shared Compiled is
+// read-only, so any number of PlanRunners may execute it in parallel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "baselines/strategy.h"
+
+namespace triad {
+
+/// Identity of a compile artifact. `model` is the builder identity (name +
+/// hyperparameters); the rest pins the strategy, pass pipeline variant, the
+/// graph shape the plan was specialized for, and the input feature width.
+struct PlanKey {
+  std::string model;
+  std::string strategy;
+  bool training = false;
+  std::int64_t num_vertices = 0;
+  std::int64_t num_edges = 0;
+  std::int64_t feat_dim = 0;
+
+  std::string str() const;
+};
+
+class PlanCache {
+ public:
+  /// Process-wide instance.
+  static PlanCache& global();
+
+  /// Returns the cached artifact or nullptr.
+  std::shared_ptr<const Compiled> find(const PlanKey& key);
+  void insert(const PlanKey& key, std::shared_ptr<const Compiled> value);
+
+  /// Compile-through lookup: on miss, builds the model via `build`, compiles
+  /// it under `s` for `graph`, and caches the result. Compiles run outside
+  /// the cache lock (hits on other keys are never blocked); same-key racers
+  /// may compile concurrently, and the first insert wins.
+  std::shared_ptr<const Compiled> get_or_compile(
+      const PlanKey& key, const Strategy& s, bool training, const Graph& graph,
+      const std::function<ModelGraph()>& build);
+
+  std::size_t size() const;
+  std::size_t hits() const;
+  std::size_t misses() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const Compiled>> entries_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace triad

@@ -72,9 +72,47 @@ int find_by_name(const IrGraph& g, const std::string& name) {
   return found;
 }
 
+/// Translates the strategy into the registered-pass pipeline. The autodiff
+/// step participates as a pass so its cost shows up in the same per-pass
+/// report as the rewrites.
+PassManager build_pipeline(const Strategy& s, bool training,
+                           std::vector<std::string> param_names) {
+  PassManager pm;
+  if (s.reorg) {
+    pm.add("reorg", [](IrGraph g) { return reorg_pass(g); });
+  }
+  if (training) {
+    pm.add("autodiff", [names = std::move(param_names)](IrGraph g) {
+      // outputs: [logits, grad(param_0), grad(param_1), ...] in param order.
+      BackwardResult bwd = build_backward(g, g.outputs[0]);
+      std::unordered_map<int, int> grad_of_param(bwd.param_grads.begin(),
+                                                 bwd.param_grads.end());
+      for (const std::string& pname : names) {
+        const int pid = find_by_name(g, pname);
+        const auto it = grad_of_param.find(pid);
+        TRIAD_CHECK(it != grad_of_param.end(),
+                    "param '" << pname << "' received no gradient");
+        g.mark_output(it->second);
+      }
+      return g;
+    });
+    if (s.recompute) {
+      pm.add("recompute", [](IrGraph g) { return recompute_pass(g); });
+    }
+  }
+  if (s.fusion != FusionMode::None) {
+    FusionOptions fo;
+    fo.mode = s.fusion;
+    fo.preferred = s.mapping;
+    pm.add("fusion", [fo](IrGraph g) { return fusion_pass(g, fo); });
+  }
+  return pm;
+}
+
 }  // namespace
 
-Compiled compile_model(ModelGraph model, const Strategy& s, bool training) {
+Compiled compile_model(ModelGraph model, const Strategy& s, bool training,
+                       std::int64_t num_vertices, std::int64_t num_edges) {
   Compiled c;
   c.init = std::move(model.init);
 
@@ -90,34 +128,10 @@ Compiled compile_model(ModelGraph model, const Strategy& s, bool training) {
   ir.outputs.clear();
   ir.mark_output(model.output);
 
-  if (s.reorg) {
-    ir = reorg_pass(ir);
-  }
-
-  if (training) {
-    const int output = ir.outputs[0];
-    BackwardResult bwd = build_backward(ir, output);
-    // outputs: [logits, grad(param_0), grad(param_1), ...] in param order.
-    std::unordered_map<int, int> grad_of_param(bwd.param_grads.begin(),
-                                               bwd.param_grads.end());
-    for (const std::string& pname : param_names) {
-      const int pid = find_by_name(ir, pname);
-      const auto it = grad_of_param.find(pid);
-      TRIAD_CHECK(it != grad_of_param.end(),
-                  "param '" << pname << "' received no gradient");
-      ir.mark_output(it->second);
-    }
-    if (s.recompute) {
-      ir = recompute_pass(ir);
-    }
-  }
-
-  if (s.fusion != FusionMode::None) {
-    FusionOptions fo;
-    fo.mode = s.fusion;
-    fo.preferred = s.mapping;
-    ir = fusion_pass(ir, fo);
-  }
+  PassManager pm = build_pipeline(s, training, param_names);
+  ir = pm.run(std::move(ir));
+  c.stats.passes = pm.report();
+  c.stats.pass_seconds = pm.total_seconds();
 
   c.output = ir.outputs[0];
   if (training) {
@@ -131,8 +145,22 @@ Compiled compile_model(ModelGraph model, const Strategy& s, bool training) {
   }
   c.features = find_by_name(ir, feat_name);
   if (!pseudo_name.empty()) c.pseudo = find_by_name(ir, pseudo_name);
+
+  if (num_vertices >= 0 && num_edges >= 0) {
+    // The plan keeps its own immutable copy of the graph; Compiled::ir stays
+    // populated alongside it so introspection code works uniformly whether
+    // or not a plan was baked.
+    c.plan = ExecutionPlan::compile_shared(ir, num_vertices, num_edges);
+    c.stats.plan_seconds = c.plan->compile_seconds();
+  }
   c.ir = std::move(ir);
   return c;
+}
+
+Compiled compile_model(ModelGraph model, const Strategy& s, bool training,
+                       const Graph& graph) {
+  return compile_model(std::move(model), s, training, graph.num_vertices(),
+                       graph.num_edges());
 }
 
 }  // namespace triad

@@ -11,14 +11,24 @@
 //                      RecomputePass.
 //   * naive()        — no optimization at all (ablation baselines, Fig. 8/9).
 // Ablation presets toggle individual techniques (Figs. 8–10).
+//
+// Compilation is a one-time phase: compile_model translates the Strategy
+// into a PassManager pipeline (reorg → autodiff → recompute → fusion), runs
+// it with per-pass timing, and — when graph dimensions are supplied — bakes
+// the result into an immutable ExecutionPlan that N epochs or M concurrent
+// requests execute without any re-analysis (see engine/plan.h).
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "engine/plan.h"
 #include "ir/autodiff.h"
 #include "ir/passes/fusion.h"
+#include "ir/passes/pass_manager.h"
 #include "ir/passes/recompute.h"
 #include "ir/passes/reorg.h"
 #include "models/models.h"
@@ -45,9 +55,23 @@ Strategy ours_no_reorg();
 Strategy ours_no_fusion();
 Strategy ours_fusion_stash();  ///< fusion without recomputation (Fig. 10 middle)
 
+/// Compile-phase accounting: per-pass wall time (from the PassManager) plus
+/// the ExecutionPlan build time. The benchmark harness reports this
+/// separately from run time.
+struct CompileStats {
+  std::vector<PassInfo> passes;
+  double pass_seconds = 0.0;
+  double plan_seconds = 0.0;
+  double total_seconds() const { return pass_seconds + plan_seconds; }
+};
+
 /// A model compiled under a strategy, ready to execute.
 struct Compiled {
-  IrGraph ir;
+  IrGraph ir;  ///< the rewritten graph (kept for introspection/tests)
+  /// Immutable execution artifact; set when compile_model was given graph
+  /// dimensions. Shared by every PlanRunner/Trainer serving this model.
+  std::shared_ptr<const ExecutionPlan> plan;
+  CompileStats stats;
   int features = -1;
   int pseudo = -1;
   int output = -1;
@@ -60,6 +84,13 @@ struct Compiled {
 /// Applies the strategy's pass pipeline to a freshly built model.
 /// `training` appends the backward pass (autodiff) between reorg and the
 /// memory passes, exactly the pipeline order the paper's design implies.
-Compiled compile_model(ModelGraph model, const Strategy& s, bool training);
+/// When `num_vertices`/`num_edges` are supplied (>= 0) the result also
+/// carries a compiled ExecutionPlan for that graph shape.
+Compiled compile_model(ModelGraph model, const Strategy& s, bool training,
+                       std::int64_t num_vertices = -1,
+                       std::int64_t num_edges = -1);
+/// Convenience overload: compile against a concrete graph (always plans).
+Compiled compile_model(ModelGraph model, const Strategy& s, bool training,
+                       const Graph& graph);
 
 }  // namespace triad

@@ -1,275 +1,11 @@
 #include "engine/executor.h"
 
-#include "engine/kernels.h"
-#include "engine/vm.h"
-#include "support/macros.h"
-
 namespace triad {
 
 Executor::Executor(const Graph& graph, const IrGraph& ir, MemoryPool* pool)
-    : graph_(graph), ir_(ir), pool_(pool) {
-  ir_.validate(graph_.num_vertices(), graph_.num_edges());
-  const int n = ir_.size();
-  slots_.resize(n);
-  aux_.resize(n);
-  persistent_.assign(n, 0);
-  total_consumers_.assign(n, 0);
-  last_consumer_.assign(n, -1);
-  remaining_.assign(n, 0);
-  keep_.assign(n, 0);
-  for (const Node& node : ir_.nodes()) {
-    for (int in : node.inputs) {
-      ++total_consumers_[in];
-      last_consumer_[in] = node.id;
-    }
-  }
-  for (int out : ir_.outputs) keep_[out] = 1;
-}
-
-void Executor::bind(int node, Tensor t) {
-  const Node& n = ir_.node(node);
-  TRIAD_CHECK(n.kind == OpKind::Input || n.kind == OpKind::Param,
-              "bind target %" << node << " must be Input or Param");
-  TRIAD_CHECK_EQ(t.rows(), rows_of(n), "bind rows for " << n.name);
-  TRIAD_CHECK_EQ(t.cols(), n.cols, "bind cols for " << n.name);
-  slots_[node] = std::move(t);
-  persistent_[node] = 1;
-}
-
-std::int64_t Executor::rows_of(const Node& n) const {
-  switch (n.space) {
-    case Space::Vertex: return graph_.num_vertices();
-    case Space::Edge: return graph_.num_edges();
-    case Space::Param: return n.rows;
-  }
-  return 0;
-}
-
-MemTag Executor::tag_of(int id) const {
-  const Node& n = ir_.node(id);
-  if (n.kind == OpKind::Param) return MemTag::kWeights;
-  if (n.kind == OpKind::Input) return MemTag::kInput;
-  const int bwd = ir_.backward_start;
-  if (bwd >= 0) {
-    if (id >= bwd) return MemTag::kGradient;
-    if (last_consumer_[id] >= bwd) return MemTag::kStash;
-  }
-  return MemTag::kActivations;
-}
-
-Tensor& Executor::alloc_slot(int id) {
-  const Node& n = ir_.node(id);
-  slots_[id].reset();  // release a kept tensor from a previous run first
-  slots_[id] = Tensor(rows_of(n), n.cols, tag_of(id), pool_);
-  return slots_[id];
-}
-
-const Tensor& Executor::result(int node) const {
-  TRIAD_CHECK(slots_[node].defined(),
-              "node %" << node << " (" << ir_.node(node).name
-                       << ") has no live tensor");
-  return slots_[node];
-}
-
-Tensor& Executor::result_mut(int node) {
-  TRIAD_CHECK(slots_[node].defined(), "node %" << node << " has no live tensor");
-  return slots_[node];
-}
-
-const IntTensor& Executor::aux_of(int node) const {
-  TRIAD_CHECK(aux_[node].defined(), "node %" << node << " has no aux tensor");
-  return aux_[node];
-}
-
-void Executor::run_range(int lo, int hi) {
-  for (int id = lo; id < hi; ++id) {
-    const Node& node = ir_.node(id);
-    exec_node(node);
-    for (int in : node.inputs) {
-      if (--remaining_[in] == 0 && !persistent_[in] && !keep_[in]) {
-        slots_[in].reset();
-        // aux outlives the tensor only if a later MaxBwd needs it; MaxBwd
-        // consumers reference the node directly, so this point is safe.
-        aux_[in].reset();
-      }
-    }
-  }
-}
-
-void Executor::run() {
-  remaining_ = total_consumers_;
-  run_range(0, ir_.size());
-  cursor_ = ir_.size();
-}
-
-void Executor::run_forward() {
-  remaining_ = total_consumers_;
-  const int end = ir_.backward_start >= 0 ? ir_.backward_start : ir_.size();
-  run_range(0, end);
-  cursor_ = end;
-}
-
-void Executor::run_backward() {
-  TRIAD_CHECK_GE(ir_.backward_start, 0, "graph has no backward pass");
-  TRIAD_CHECK_EQ(cursor_, ir_.backward_start, "run_forward() must come first");
-  run_range(cursor_, ir_.size());
-  cursor_ = ir_.size();
-}
-
-void Executor::exec_node(const Node& n) {
-  switch (n.kind) {
-    case OpKind::Input:
-    case OpKind::Param:
-      TRIAD_CHECK(slots_[n.id].defined(),
-                  "node %" << n.id << " (" << n.name << ") of kind "
-                           << to_string(n.kind) << " not bound");
-      return;
-    case OpKind::Scatter: {
-      Tensor& out = alloc_slot(n.id);
-      const Tensor& a = result(n.inputs[0]);
-      const Tensor* b = n.inputs.size() > 1 ? &result(n.inputs[1]) : nullptr;
-      kernels::scatter(graph_, n.sfn, a, b, out, n.heads);
-      return;
-    }
-    case OpKind::Gather: {
-      Tensor& out = alloc_slot(n.id);
-      IntTensor* argmax = nullptr;
-      if (n.rfn == ReduceFn::Max) {
-        aux_[n.id] = IntTensor(rows_of(n), n.cols, tag_of(n.id), pool_);
-        argmax = &aux_[n.id];
-      }
-      kernels::gather(graph_, n.rfn, n.reverse, result(n.inputs[0]), out, argmax);
-      return;
-    }
-    case OpKind::Apply:
-      exec_apply(n);
-      return;
-    case OpKind::Special:
-      exec_special(n);
-      return;
-    case OpKind::Fused:
-      exec_fused(n);
-      return;
-    case OpKind::FusedOut:
-      TRIAD_CHECK(slots_[n.id].defined(),
-                  "fused output %" << n.id << " not produced by its program");
-      return;
-  }
-}
-
-void Executor::exec_apply(const Node& n) {
-  Tensor& out = alloc_slot(n.id);
-  switch (n.afn) {
-    case ApplyFn::Linear:
-      kernels::linear(result(n.inputs[0]), result(n.inputs[1]), out, n.wrow_lo,
-                      n.wrow_hi);
-      return;
-    case ApplyFn::LinearWGrad:
-      kernels::linear_wgrad(result(n.inputs[0]), result(n.inputs[1]), out,
-                            n.wrow_lo, n.wrow_hi);
-      return;
-    case ApplyFn::LinearXGrad:
-      kernels::linear_xgrad(result(n.inputs[0]), result(n.inputs[1]), out,
-                            n.wrow_lo, n.wrow_hi);
-      return;
-    case ApplyFn::Bias:
-      kernels::bias(result(n.inputs[0]), result(n.inputs[1]), out);
-      return;
-    case ApplyFn::BiasGrad:
-      kernels::bias_grad(result(n.inputs[0]), out);
-      return;
-    case ApplyFn::SliceCols:
-      kernels::slice_cols(result(n.inputs[0]), out, n.slice_lo, n.slice_hi);
-      return;
-    case ApplyFn::HeadSum:
-      kernels::head_sum(result(n.inputs[0]), out, n.heads, n.alpha);
-      return;
-    case ApplyFn::HeadBroadcast:
-      kernels::head_broadcast(result(n.inputs[0]), out, n.heads, n.alpha);
-      return;
-    case ApplyFn::LeakyReLU:
-    case ApplyFn::ReLU:
-    case ApplyFn::ELU:
-    case ApplyFn::Exp:
-    case ApplyFn::Neg:
-    case ApplyFn::Scale:
-    case ApplyFn::Identity:
-      kernels::apply_unary(n.afn, result(n.inputs[0]), out, n.alpha);
-      return;
-    default:
-      kernels::apply_binary(n.afn, result(n.inputs[0]), result(n.inputs[1]), out,
-                            n.heads, n.alpha);
-      return;
-  }
-}
-
-void Executor::exec_special(const Node& n) {
-  switch (n.spfn) {
-    case SpecialFn::EdgeSoftmax: {
-      Tensor& out = alloc_slot(n.id);
-      kernels::edge_softmax(graph_, result(n.inputs[0]), out);
-      return;
-    }
-    case SpecialFn::EdgeSoftmaxGrad: {
-      Tensor& out = alloc_slot(n.id);
-      kernels::edge_softmax_grad(graph_, result(n.inputs[0]), result(n.inputs[1]),
-                                 out);
-      return;
-    }
-    case SpecialFn::GatherMaxBwd: {
-      Tensor& out = alloc_slot(n.id);
-      kernels::gather_max_bwd(graph_, result(n.inputs[0]), aux_of(n.inputs[1]),
-                              out, n.reverse);
-      return;
-    }
-    case SpecialFn::DegreeInv: {
-      Tensor& out = alloc_slot(n.id);
-      kernels::degree_inv(graph_, out, n.reverse);
-      return;
-    }
-    case SpecialFn::Gaussian: {
-      Tensor& out = alloc_slot(n.id);
-      kernels::gaussian(result(n.inputs[0]), result(n.inputs[1]),
-                        result(n.inputs[2]), out);
-      return;
-    }
-    case SpecialFn::GaussianGradMu: {
-      Tensor& out = alloc_slot(n.id);
-      kernels::gaussian_grad_mu(result(n.inputs[0]), result(n.inputs[1]),
-                                result(n.inputs[2]), result(n.inputs[3]),
-                                result(n.inputs[4]), out);
-      return;
-    }
-    case SpecialFn::GaussianGradSigma: {
-      Tensor& out = alloc_slot(n.id);
-      kernels::gaussian_grad_sigma(result(n.inputs[0]), result(n.inputs[1]),
-                                   result(n.inputs[2]), result(n.inputs[3]),
-                                   result(n.inputs[4]), out);
-      return;
-    }
-  }
-}
-
-void Executor::exec_fused(const Node& n) {
-  const EdgeProgram& ep = ir_.programs.at(n.program);
-  for (const VertexOutput& vo : ep.vertex_outputs) {
-    Tensor& out = alloc_slot(vo.node);
-    const bool atomic = ep.mapping == WorkMapping::EdgeBalanced ||
-                        vo.reverse == ep.dst_major;
-    if (atomic) out.fill(0.f);
-    if (vo.track_argmax) {
-      aux_[vo.node] = IntTensor(rows_of(ir_.node(vo.node)), vo.width,
-                                tag_of(vo.node), pool_);
-    }
-  }
-  for (const EdgeOutput& eo : ep.edge_outputs) alloc_slot(eo.node);
-
-  VmBindings b;
-  b.tensor = [this](int id) -> const Tensor& { return result(id); };
-  b.aux = [this](int id) -> const IntTensor& { return aux_of(id); };
-  b.out = [this](int id) -> Tensor& { return result_mut(id); };
-  b.out_aux = [this](int id) -> IntTensor& { return aux_[id]; };
-  run_edge_program(graph_, ep, b);
-}
+    : runner_(graph,
+              ExecutionPlan::compile_shared(ir, graph.num_vertices(),
+                                            graph.num_edges()),
+              pool) {}
 
 }  // namespace triad

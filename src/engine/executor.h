@@ -1,14 +1,16 @@
-// Executor: runs an IrGraph over a Graph with eager memory management.
+// Executor: compatibility shim over the compile-time/run-time split.
 //
-// Tensors flow through per-node slots. A slot is freed the moment its last
-// consumer has executed (unless the node is an output or externally bound),
-// so MemoryPool's peak is a faithful model of what a GPU run would hold live —
-// including stashed forward intermediates that a backward node consumes
-// (classified MemTag::kStash when they outlive the fwd/bwd boundary).
+// Historically the Executor did both jobs — analysing the IR (consumer
+// counts, liveness, memory tags) and running it. That analysis now lives in
+// an immutable ExecutionPlan (see engine/plan.h) compiled once, and the hot
+// loop is a PlanRunner. Executor remains as the one-shot convenience: its
+// constructor compiles a private plan for (graph, ir) and every other method
+// forwards to the runner. Code that wants to reuse one compiled plan across
+// epochs or concurrent requests should hold an ExecutionPlan + PlanRunner
+// directly.
 #pragma once
 
-#include <vector>
-
+#include "engine/plan.h"
 #include "graph/csr.h"
 #include "ir/graph.h"
 #include "tensor/mempool.h"
@@ -23,51 +25,32 @@ class Executor {
 
   /// Binds an externally owned tensor to an Input or Param node. Bound
   /// tensors persist across run() calls (training epochs).
-  void bind(int node, Tensor t);
+  void bind(int node, Tensor t) { runner_.bind(node, std::move(t)); }
 
   /// Executes every node in topological order. Can be called repeatedly.
-  void run();
+  void run() { runner_.run(); }
 
   /// Split execution for training: run_forward() stops at backward_start so
   /// the caller can compute the loss gradient and bind it to the seed input;
   /// run_backward() completes the step.
-  void run_forward();
-  void run_backward();
+  void run_forward() { runner_.run_forward(); }
+  void run_backward() { runner_.run_backward(); }
 
   /// Tensor produced by (or bound to) `node`; valid for persistent nodes and
   /// outputs after run(), or any node before its slot is freed.
-  const Tensor& result(int node) const;
-  Tensor& result_mut(int node);
-  bool has_result(int node) const { return slots_[node].defined(); }
-  const IntTensor& aux_of(int node) const;
+  const Tensor& result(int node) const { return runner_.result(node); }
+  Tensor& result_mut(int node) { return runner_.result_mut(node); }
+  bool has_result(int node) const { return runner_.has_result(node); }
+  const IntTensor& aux_of(int node) const { return runner_.aux_of(node); }
 
-  const Graph& graph() const { return graph_; }
-  const IrGraph& ir() const { return ir_; }
-  MemoryPool& pool() { return *pool_; }
+  const Graph& graph() const { return runner_.graph(); }
+  const IrGraph& ir() const { return runner_.ir(); }
+  const ExecutionPlan& plan() const { return runner_.plan(); }
+  PlanRunner& runner() { return runner_; }
+  MemoryPool& pool() { return runner_.pool(); }
 
  private:
-  std::int64_t rows_of(const Node& n) const;
-  MemTag tag_of(int id) const;
-  void exec_node(const Node& n);
-  void exec_apply(const Node& n);
-  void exec_special(const Node& n);
-  void exec_fused(const Node& n);
-  Tensor& alloc_slot(int id);
-
-  const Graph& graph_;
-  const IrGraph& ir_;
-  MemoryPool* pool_;
-
-  std::vector<Tensor> slots_;
-  std::vector<IntTensor> aux_;
-  std::vector<char> persistent_;
-  std::vector<int> total_consumers_;
-  std::vector<int> last_consumer_;
-  void run_range(int lo, int hi);
-
-  std::vector<int> remaining_;  // per-run countdown
-  std::vector<char> keep_;      // outputs
-  int cursor_ = 0;              // next node to execute in a split run
+  PlanRunner runner_;
 };
 
 }  // namespace triad

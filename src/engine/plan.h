@@ -1,0 +1,135 @@
+// ExecutionPlan + PlanRunner: the compile-time / run-time split.
+//
+// An ExecutionPlan is the immutable compile artifact of the engine: it owns
+// the final (post-pass) IrGraph and precomputes everything the hot loop used
+// to derive on the fly — the topological schedule and its forward/backward
+// boundary, per-node row counts resolved against the graph dimensions,
+// memory-tag classification, argmax-aux requirements, static slot free-lists
+// (which tensors die after which step), and an analytic peak-memory estimate.
+// Compiling a plan charges PerfCounters::plan_compiles once; executing it
+// charges nothing compile-shaped, so one plan can be benchmarked, cached, and
+// shared by N training epochs or M concurrent inference requests.
+//
+// A PlanRunner is the thin per-request execution state (tensor slots, bound
+// inputs, a schedule cursor) over a shared `const ExecutionPlan&`. Multiple
+// runners may execute the same plan concurrently: the plan is never written
+// after compile() returns, and each runner owns its slots and memory pool.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/csr.h"
+#include "ir/graph.h"
+#include "tensor/mempool.h"
+#include "tensor/tensor.h"
+
+namespace triad {
+
+/// Precomputed per-node execution record. `free_after` lists the node ids
+/// whose slot (and aux) die once this step has executed — the compile-time
+/// form of the liveness countdown the old Executor ran every epoch.
+struct PlanStep {
+  MemTag tag = MemTag::kActivations;
+  std::int64_t rows = 0;        ///< resolved against |V| / |E| / param rows
+  std::int64_t alloc_bytes = 0; ///< slot+aux bytes this step allocates
+  bool needs_argmax = false;    ///< Gather-Max: allocate the argmax aux
+  std::vector<int> free_after;
+};
+
+class ExecutionPlan {
+ public:
+  /// Compiles `ir` against the graph dimensions: validates, classifies, and
+  /// precomputes the schedule. The plan is immutable afterwards.
+  static ExecutionPlan compile(IrGraph ir, std::int64_t num_vertices,
+                               std::int64_t num_edges);
+  static std::shared_ptr<const ExecutionPlan> compile_shared(
+      IrGraph ir, std::int64_t num_vertices, std::int64_t num_edges);
+
+  ExecutionPlan(ExecutionPlan&&) = default;
+  ExecutionPlan& operator=(ExecutionPlan&&) = default;
+
+  const IrGraph& ir() const { return ir_; }
+  std::int64_t num_vertices() const { return num_vertices_; }
+  std::int64_t num_edges() const { return num_edges_; }
+
+  int size() const { return static_cast<int>(steps_.size()); }
+  /// First backward node id, or size() for inference-only plans — the split
+  /// point of run_forward()/run_backward().
+  int forward_end() const { return forward_end_; }
+  const PlanStep& step(int id) const { return steps_[id]; }
+  bool is_output(int id) const { return is_output_[id] != 0; }
+
+  /// Analytic memory model of one run: bytes pinned for the whole run
+  /// (bound inputs + parameters) and the simulated allocation peak.
+  std::size_t persistent_bytes() const { return persistent_bytes_; }
+  std::size_t estimated_peak_bytes() const { return estimated_peak_bytes_; }
+
+  /// Wall time compile() spent building this plan.
+  double compile_seconds() const { return compile_seconds_; }
+
+ private:
+  ExecutionPlan() = default;
+
+  IrGraph ir_;
+  std::int64_t num_vertices_ = 0;
+  std::int64_t num_edges_ = 0;
+  int forward_end_ = 0;
+  std::vector<PlanStep> steps_;
+  std::vector<char> is_output_;
+  std::size_t persistent_bytes_ = 0;
+  std::size_t estimated_peak_bytes_ = 0;
+  double compile_seconds_ = 0.0;
+};
+
+/// Per-request execution state over a shared immutable plan. Replaces the
+/// run-time half of the old Executor; all analysis lives in ExecutionPlan.
+class PlanRunner {
+ public:
+  PlanRunner(const Graph& graph, std::shared_ptr<const ExecutionPlan> plan,
+             MemoryPool* pool = &global_pool_mem());
+
+  /// Binds an externally owned tensor to an Input or Param node. Bound
+  /// tensors persist across run() calls (training epochs / requests).
+  void bind(int node, Tensor t);
+
+  /// Executes every node in schedule order. Can be called repeatedly.
+  void run();
+
+  /// Split execution for training: run_forward() stops at the plan's
+  /// forward/backward boundary so the caller can seed the loss gradient;
+  /// run_backward() completes the step.
+  void run_forward();
+  void run_backward();
+
+  /// Tensor produced by (or bound to) `node`; valid for bound nodes and
+  /// outputs after run(), or any node before its plan-scheduled free point.
+  const Tensor& result(int node) const;
+  Tensor& result_mut(int node);
+  bool has_result(int node) const { return slots_[node].defined(); }
+  const IntTensor& aux_of(int node) const;
+
+  const Graph& graph() const { return graph_; }
+  const ExecutionPlan& plan() const { return *plan_; }
+  const IrGraph& ir() const { return plan_->ir(); }
+  MemoryPool& pool() { return *pool_; }
+
+ private:
+  void run_range(int lo, int hi);
+  void exec_node(const Node& n);
+  void exec_apply(const Node& n);
+  void exec_special(const Node& n);
+  void exec_fused(const Node& n);
+  Tensor& alloc_slot(int id);
+
+  const Graph& graph_;
+  std::shared_ptr<const ExecutionPlan> plan_;
+  MemoryPool* pool_;
+
+  std::vector<Tensor> slots_;
+  std::vector<IntTensor> aux_;
+  int cursor_ = 0;  ///< next node to execute in a split run
+};
+
+}  // namespace triad

@@ -1,0 +1,54 @@
+#include "ir/passes/pass_manager.h"
+
+#include <cstdio>
+
+#include "support/counters.h"
+#include "support/timer.h"
+
+namespace triad {
+
+PassManager& PassManager::add(std::string name, PassFn fn) {
+  TRIAD_CHECK(fn != nullptr, "pass '" << name << "' has no body");
+  passes_.push_back({std::move(name), std::move(fn)});
+  return *this;
+}
+
+IrGraph PassManager::run(IrGraph ir) {
+  report_.clear();
+  report_.reserve(passes_.size());
+  for (const RegisteredPass& pass : passes_) {
+    PassInfo info;
+    info.name = pass.name;
+    info.nodes_before = ir.size();
+    Timer timer;
+    ir = pass.fn(std::move(ir));
+    info.seconds = timer.seconds();
+    info.nodes_after = ir.size();
+    report_.push_back(std::move(info));
+    ++global_counters().ir_passes;
+  }
+  return ir;
+}
+
+double PassManager::total_seconds() const {
+  double total = 0.0;
+  for (const PassInfo& p : report_) total += p.seconds;
+  return total;
+}
+
+std::string PassManager::summary() const {
+  std::string out;
+  char buf[128];
+  for (const PassInfo& p : report_) {
+    std::snprintf(buf, sizeof buf, "%-12s %8.3f ms  %4d -> %4d nodes\n",
+                  p.name.c_str(), p.seconds * 1e3, p.nodes_before,
+                  p.nodes_after);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf, "%-12s %8.3f ms\n", "total",
+                total_seconds() * 1e3);
+  out += buf;
+  return out;
+}
+
+}  // namespace triad

@@ -1,0 +1,60 @@
+// PassManager: the compile-time pipeline driver.
+//
+// Passes (reorg, autodiff, recompute, fusion, …) are registered by name and
+// run front-to-back over an IrGraph, each one consuming the previous result.
+// The manager records per-pass wall time and node-count deltas — the numbers
+// a compile-vs-run breakdown reports — and charges every pass execution to
+// PerfCounters::ir_passes, so a counter delta of zero over a window proves no
+// compilation happened inside it (the plan-reuse guarantee).
+//
+// The manager itself is policy-free: which passes run, and in what order, is
+// decided by whoever assembles the pipeline (see compile_model in
+// baselines/strategy.cc, which translates a Strategy into a pipeline).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/graph.h"
+
+namespace triad {
+
+/// Timing/size record of one executed pass.
+struct PassInfo {
+  std::string name;
+  double seconds = 0.0;
+  int nodes_before = 0;
+  int nodes_after = 0;
+};
+
+class PassManager {
+ public:
+  /// A pass consumes a graph and returns the rewritten graph.
+  using PassFn = std::function<IrGraph(IrGraph)>;
+
+  /// Registers a pass at the end of the pipeline. Returns *this for chaining.
+  PassManager& add(std::string name, PassFn fn);
+
+  /// Runs every registered pass in order. Records one PassInfo per pass and
+  /// charges PerfCounters::ir_passes once per pass executed.
+  IrGraph run(IrGraph ir);
+
+  /// Per-pass records of the most recent run().
+  const std::vector<PassInfo>& report() const { return report_; }
+  double total_seconds() const;
+  int num_passes() const { return static_cast<int>(passes_.size()); }
+
+  /// Human-readable per-pass table (name, time, node delta).
+  std::string summary() const;
+
+ private:
+  struct RegisteredPass {
+    std::string name;
+    PassFn fn;
+  };
+  std::vector<RegisteredPass> passes_;
+  std::vector<PassInfo> report_;
+};
+
+}  // namespace triad

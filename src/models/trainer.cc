@@ -5,59 +5,77 @@
 
 namespace triad {
 
-Trainer::Trainer(Compiled model, const Graph& graph, Tensor features,
-                 Tensor pseudo, MemoryPool* pool)
-    : model_(std::move(model)), exec_(graph, model_.ir, pool) {
-  exec_.bind(model_.features, std::move(features));
-  if (model_.pseudo >= 0) {
+namespace {
+
+// Models compiled without graph dimensions carry no plan; compile one here
+// (once, at construction) so the step loop itself stays analysis-free.
+std::shared_ptr<const ExecutionPlan> plan_of(const Compiled& model,
+                                             const Graph& graph) {
+  if (model.plan != nullptr) return model.plan;
+  return ExecutionPlan::compile_shared(model.ir, graph.num_vertices(),
+                                       graph.num_edges());
+}
+
+}  // namespace
+
+Trainer::Trainer(std::shared_ptr<const Compiled> model, const Graph& graph,
+                 Tensor features, Tensor pseudo, MemoryPool* pool)
+    : model_(std::move(model)), runner_(graph, plan_of(*model_, graph), pool) {
+  runner_.bind(model_->features, std::move(features));
+  if (model_->pseudo >= 0) {
     TRIAD_CHECK(pseudo.defined(), "model expects pseudo-coordinates");
-    exec_.bind(model_.pseudo, std::move(pseudo));
+    runner_.bind(model_->pseudo, std::move(pseudo));
   }
-  weights_.reserve(model_.params.size());
-  for (std::size_t i = 0; i < model_.params.size(); ++i) {
-    weights_.push_back(model_.init[i].clone(MemTag::kWeights, pool));
-    exec_.bind(model_.params[i], weights_.back());
+  weights_.reserve(model_->params.size());
+  for (std::size_t i = 0; i < model_->params.size(); ++i) {
+    weights_.push_back(model_->init[i].clone(MemTag::kWeights, pool));
+    runner_.bind(model_->params[i], weights_.back());
   }
 }
 
+Trainer::Trainer(Compiled model, const Graph& graph, Tensor features,
+                 Tensor pseudo, MemoryPool* pool)
+    : Trainer(std::make_shared<const Compiled>(std::move(model)), graph,
+              std::move(features), std::move(pseudo), pool) {}
+
 StepMetrics Trainer::train_step(const IntTensor& labels, float lr) {
-  TRIAD_CHECK_GE(model_.seed, 0, "model was compiled for inference only");
+  TRIAD_CHECK_GE(model_->seed, 0, "model was compiled for inference only");
   StepMetrics m;
-  exec_.pool().reset_peak();
+  runner_.pool().reset_peak();
   CounterScope scope;
   Timer timer;
 
-  exec_.run_forward();
-  const Tensor& out = exec_.result(model_.output);
-  Tensor seed(out.rows(), out.cols(), MemTag::kGradient, &exec_.pool());
+  runner_.run_forward();
+  const Tensor& out = runner_.result(model_->output);
+  Tensor seed(out.rows(), out.cols(), MemTag::kGradient, &runner_.pool());
   m.loss = ops::softmax_cross_entropy(out, labels, &seed);
-  exec_.bind(model_.seed, std::move(seed));
-  exec_.run_backward();
+  runner_.bind(model_->seed, std::move(seed));
+  runner_.run_backward();
 
   if (optimizer_ != nullptr) {
     std::vector<const Tensor*> grads;
     grads.reserve(weights_.size());
-    for (int gnode : model_.param_grads) grads.push_back(&exec_.result(gnode));
+    for (int gnode : model_->param_grads) grads.push_back(&runner_.result(gnode));
     optimizer_->step(weights_, grads);
   } else {
     for (std::size_t i = 0; i < weights_.size(); ++i) {
-      ops::axpy(weights_[i], exec_.result(model_.param_grads[i]), -lr);
+      ops::axpy(weights_[i], runner_.result(model_->param_grads[i]), -lr);
     }
   }
 
   m.seconds = timer.seconds();
   m.counters = scope.delta();
-  m.peak_bytes = exec_.pool().peak_bytes();
+  m.peak_bytes = runner_.pool().peak_bytes();
   return m;
 }
 
 StepMetrics Trainer::forward(const IntTensor& labels) {
   StepMetrics m;
-  exec_.pool().reset_peak();
+  runner_.pool().reset_peak();
   CounterScope scope;
   Timer timer;
-  exec_.run_forward();
-  const Tensor& out = exec_.result(model_.output);
+  runner_.run_forward();
+  const Tensor& out = runner_.result(model_->output);
   // Headless ablation models (classify_last=false) emit embeddings, not
   // logits; loss is undefined there and irrelevant to forward-only timing.
   std::int32_t max_label = 0;
@@ -69,7 +87,7 @@ StepMetrics Trainer::forward(const IntTensor& labels) {
   }
   m.seconds = timer.seconds();
   m.counters = scope.delta();
-  m.peak_bytes = exec_.pool().peak_bytes();
+  m.peak_bytes = runner_.pool().peak_bytes();
   return m;
 }
 
@@ -79,8 +97,8 @@ void Trainer::set_optimizer(std::unique_ptr<Optimizer> opt) {
 }
 
 float Trainer::evaluate(const IntTensor& labels) {
-  exec_.run_forward();
-  return ops::accuracy(exec_.result(model_.output), labels);
+  runner_.run_forward();
+  return ops::accuracy(runner_.result(model_->output), labels);
 }
 
 }  // namespace triad

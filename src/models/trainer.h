@@ -1,20 +1,21 @@
 // Training / inference harness over a Compiled model.
 //
 // Full-batch training with softmax cross-entropy and SGD, the regime the
-// paper's end-to-end numbers measure. The Trainer owns the Executor and the
-// parameter tensors; per-step metrics (wall time, counters delta, peak
-// memory) feed the benchmark harness directly.
+// paper's end-to-end numbers measure. The Trainer is pure run-time: it holds
+// a PlanRunner over the model's immutable ExecutionPlan plus the parameter
+// tensors, so constructing N trainers (or running M epochs) off one shared
+// Compiled never re-runs passes or liveness analysis. Per-step metrics (wall
+// time, counters delta, peak memory) feed the benchmark harness directly.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
-#include <memory>
-
 #include "baselines/strategy.h"
-#include "engine/executor.h"
-#include "models/optim.h"
+#include "engine/plan.h"
 #include "graph/csr.h"
+#include "models/optim.h"
 #include "support/counters.h"
 #include "tensor/tensor.h"
 
@@ -29,8 +30,15 @@ struct StepMetrics {
 
 class Trainer {
  public:
-  /// Binds features (and pseudo-coords when the model uses them) and clones
-  /// the initial parameters into pool-tracked weight tensors.
+  /// Shares a compile artifact (e.g. out of the PlanCache): binds features
+  /// (and pseudo-coords when the model uses them) and clones the initial
+  /// parameters into pool-tracked weight tensors. No compilation happens
+  /// here when the model carries a plan.
+  Trainer(std::shared_ptr<const Compiled> model, const Graph& graph,
+          Tensor features, Tensor pseudo = {},
+          MemoryPool* pool = &global_pool_mem());
+
+  /// Owning convenience: wraps `model` into a shared artifact.
   Trainer(Compiled model, const Graph& graph, Tensor features,
           Tensor pseudo = {}, MemoryPool* pool = &global_pool_mem());
 
@@ -47,13 +55,14 @@ class Trainer {
   /// Classification accuracy of the current parameters.
   float evaluate(const IntTensor& labels);
 
-  const Tensor& logits() const { return exec_.result(model_.output); }
-  Executor& executor() { return exec_; }
-  const Compiled& model() const { return model_; }
+  const Tensor& logits() const { return runner_.result(model_->output); }
+  PlanRunner& runner() { return runner_; }
+  PlanRunner& executor() { return runner_; }  ///< legacy name for runner()
+  const Compiled& model() const { return *model_; }
 
  private:
-  Compiled model_;
-  Executor exec_;
+  std::shared_ptr<const Compiled> model_;
+  PlanRunner runner_;
   std::vector<Tensor> weights_;  // persistent parameter tensors
   std::unique_ptr<Optimizer> optimizer_;
 };

@@ -6,7 +6,10 @@
 namespace triad {
 
 PerfCounters& global_counters() {
-  static PerfCounters counters;
+  // Thread-local: kernels charge analytically on the calling thread (never
+  // inside parallel_for workers), so each request thread owns its ledger and
+  // concurrent PlanRunners neither race nor pollute each other's deltas.
+  thread_local PerfCounters counters;
   return counters;
 }
 
@@ -41,7 +44,9 @@ std::string PerfCounters::to_string() const {
          " w=" + human_bytes(dram_write_bytes) + ") flops=" + human_count(flops) +
          " atomics=" + human_count(atomic_ops) +
          " kernels=" + std::to_string(kernel_launches) +
-         " onchip=" + human_bytes(onchip_bytes);
+         " onchip=" + human_bytes(onchip_bytes) +
+         " passes=" + std::to_string(ir_passes) +
+         " plans=" + std::to_string(plan_compiles);
 }
 
 }  // namespace triad

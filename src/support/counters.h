@@ -21,8 +21,13 @@ struct PerfCounters {
   std::uint64_t atomic_ops = 0;        ///< cross-thread atomic reductions
   std::uint64_t kernel_launches = 0;   ///< number of device kernels issued
   std::uint64_t onchip_bytes = 0;      ///< traffic kept in registers/shared mem by fusion
+  std::uint64_t ir_passes = 0;         ///< IR passes executed (compile-time work)
+  std::uint64_t plan_compiles = 0;     ///< ExecutionPlans built (compile-time work)
 
   std::uint64_t io_bytes() const { return dram_read_bytes + dram_write_bytes; }
+  /// Total compile-phase events; zero across a window proves the window ran
+  /// entirely from a prebuilt ExecutionPlan (no re-analysis in the hot loop).
+  std::uint64_t compile_events() const { return ir_passes + plan_compiles; }
 
   PerfCounters operator-(const PerfCounters& o) const {
     PerfCounters r;
@@ -32,6 +37,8 @@ struct PerfCounters {
     r.atomic_ops = atomic_ops - o.atomic_ops;
     r.kernel_launches = kernel_launches - o.kernel_launches;
     r.onchip_bytes = onchip_bytes - o.onchip_bytes;
+    r.ir_passes = ir_passes - o.ir_passes;
+    r.plan_compiles = plan_compiles - o.plan_compiles;
     return r;
   }
   PerfCounters& operator+=(const PerfCounters& o) {
@@ -41,6 +48,8 @@ struct PerfCounters {
     atomic_ops += o.atomic_ops;
     kernel_launches += o.kernel_launches;
     onchip_bytes += o.onchip_bytes;
+    ir_passes += o.ir_passes;
+    plan_compiles += o.plan_compiles;
     return *this;
   }
 
@@ -49,7 +58,9 @@ struct PerfCounters {
   std::string to_string() const;
 };
 
-/// Process-wide counter ledger the engine charges into.
+/// Per-thread counter ledger the engine charges into. Kernels charge on the
+/// thread that launches them, so concurrent PlanRunners on different threads
+/// account independently (and without data races).
 PerfCounters& global_counters();
 
 /// RAII scope that measures the counter delta across its lifetime.

@@ -63,8 +63,6 @@ ThreadPool& global_pool() {
   return pool;
 }
 
-bool single_threaded() { return global_pool().size() == 1; }
-
 void parallel_for_chunks(std::int64_t begin, std::int64_t end,
                          const std::function<void(std::int64_t, std::int64_t)>& fn,
                          std::int64_t grain) {

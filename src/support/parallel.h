@@ -67,14 +67,18 @@ void parallel_for_chunks(std::int64_t begin, std::int64_t end,
 
 /// True when the global pool has a single worker — reductions then need no
 /// atomicity and take the plain-add fast path (the *cost model* still charges
-/// them as atomics; see PerfCounters).
-bool single_threaded();
+/// them as atomics; see PerfCounters). Inline and evaluated per call — cheap
+/// enough for per-element use, and the answer is never frozen at first call.
+inline bool single_threaded() {
+  static ThreadPool& pool = global_pool();
+  return pool.size() == 1;
+}
 
 /// Atomic float accumulate — the CPU analogue of CUDA atomicAdd, used by
-/// edge-balanced reductions.
+/// edge-balanced reductions. The serial fast path is decided per call
+/// against the live pool, not cached in a function-local static.
 inline void atomic_add(float* addr, float value) {
-  static const bool serial = single_threaded();
-  if (serial) {
+  if (single_threaded()) {
     *addr += value;
     return;
   }
@@ -82,8 +86,12 @@ inline void atomic_add(float* addr, float value) {
   ref.fetch_add(value, std::memory_order_relaxed);
 }
 
-/// Atomic float max, same pattern.
+/// Atomic float max, same pattern (including the serial fast path).
 inline void atomic_max(float* addr, float value) {
+  if (single_threaded()) {
+    if (*addr < value) *addr = value;
+    return;
+  }
   std::atomic_ref<float> ref(*addr);
   float old = ref.load(std::memory_order_relaxed);
   while (old < value &&

@@ -23,9 +23,11 @@
 #include "engine/device.h"
 #include "graph/datasets.h"
 #include "graph/knn.h"
+#include "graph/partition.h"
 #include "models/models.h"
 #include "models/trainer.h"
 #include "support/counters.h"
+#include "support/parallel.h"
 #include "support/rng.h"
 #include "support/timer.h"
 
@@ -37,6 +39,8 @@ struct Options {
   double feat_scale = 0.25;  ///< input feature width scale (latency knob)
   int steps = 2;             ///< measured steps (after 1 warmup)
   int points = 256;          ///< EdgeConv points per cloud (paper: 1024)
+  int shards = 0;            ///< K-way sharded execution (0 = unsharded)
+  int threads = 0;           ///< global pool size override (0 = auto)
   unsigned seed = 42;
   bool json = true;          ///< emit BENCH_<name>.json
   std::string json_dir = "."; ///< where to write it
@@ -56,6 +60,8 @@ struct Options {
       if (const char* v = val("--feat-scale")) o.feat_scale = std::atof(v);
       if (const char* v = val("--steps")) o.steps = std::atoi(v);
       if (const char* v = val("--points")) o.points = std::atoi(v);
+      if (const char* v = val("--shards")) o.shards = std::atoi(v);
+      if (const char* v = val("--threads")) o.threads = std::atoi(v);
       if (const char* v = val("--seed")) o.seed = static_cast<unsigned>(std::atoi(v));
       if (const char* v = val("--json-dir")) o.json_dir = v;
       if (std::strcmp(argv[i], "--no-json") == 0) o.json = false;
@@ -66,6 +72,9 @@ struct Options {
         o.points = 1024;
       }
     }
+    // The pool can only be sized before its first use; parse() runs first
+    // thing in main, so this is the window.
+    if (o.threads > 0) set_global_pool_threads(static_cast<unsigned>(o.threads));
     return o;
   }
 
@@ -80,6 +89,8 @@ struct Measurement {
   std::uint64_t io_bytes = 0;   ///< modeled DRAM traffic per step
   std::size_t peak_bytes = 0;   ///< peak pool memory
   PerfCounters counters;        ///< full counter delta per step
+  int shards = 0;               ///< K of this run (0 = unsharded)
+  std::size_t shard_peak_bytes = 0;  ///< max per-shard analytic peak (K > 0)
 };
 
 /// Runs `steps` training (or forward-only) steps off the model's compiled
@@ -92,6 +103,10 @@ inline Measurement measure_training(Compiled compiled, const Graph& g,
                                     bool training, MemoryPool* pool) {
   Measurement m;
   m.compile_seconds = compiled.stats.total_seconds();
+  if (compiled.partition != nullptr) {
+    m.shards = compiled.partition->num_shards();
+    m.shard_peak_bytes = compiled.plan->max_shard_peak_bytes();
+  }
   const bool has_pseudo = compiled.pseudo >= 0;
   Trainer trainer(std::move(compiled), g,
                   features.clone(MemTag::kInput, pool),
@@ -143,9 +158,11 @@ inline void print_row(const std::string& workload, const std::string& strategy,
 
 inline void print_footnote(const Options& o) {
   std::printf(
-      "(scales: citation=%.3g reddit=%.3g feat=%.3g; steps=%d; normalized "
-      "columns are relative to the first row of each workload)\n",
-      o.scale, o.reddit_scale, o.feat_scale, o.steps);
+      "(scales: citation=%.3g reddit=%.3g feat=%.3g; steps=%d; shards=%d; "
+      "threads=%u; normalized columns are relative to the first row of each "
+      "workload)\n",
+      o.scale, o.reddit_scale, o.feat_scale, o.steps, o.shards,
+      global_pool().size());
 }
 
 /// Collects the rows a benchmark prints and dumps them as
@@ -181,9 +198,11 @@ class JsonReport {
                  "{\n  \"bench\": \"%s\",\n"
                  "  \"options\": {\"scale\": %g, \"reddit_scale\": %g, "
                  "\"feat_scale\": %g, \"steps\": %d, \"points\": %d, "
+                 "\"shards\": %d, \"threads\": %u, "
                  "\"seed\": %u},\n  \"rows\": [\n",
                  name_.c_str(), opt_.scale, opt_.reddit_scale, opt_.feat_scale,
-                 opt_.steps, opt_.points, opt_.seed);
+                 opt_.steps, opt_.points, opt_.shards, global_pool().size(),
+                 opt_.seed);
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       const Row& r = rows_[i];
       const double speedup =
@@ -198,13 +217,17 @@ class JsonReport {
           "\"run_seconds\": %.6e, \"compile_seconds\": %.6e, "
           "\"io_bytes\": %llu, \"peak_bytes\": %zu, "
           "\"kernel_launches\": %llu, \"atomic_ops\": %llu, "
-          "\"flops\": %llu, \"speedup\": %.4f, \"mem_ratio\": %.4f}%s\n",
+          "\"flops\": %llu, \"combine_bytes\": %llu, "
+          "\"shards\": %d, \"shard_peak_bytes\": %zu, "
+          "\"speedup\": %.4f, \"mem_ratio\": %.4f}%s\n",
           r.workload.c_str(), r.strategy.c_str(), r.m.seconds,
           r.m.compile_seconds,
           static_cast<unsigned long long>(r.m.io_bytes), r.m.peak_bytes,
           static_cast<unsigned long long>(r.m.counters.kernel_launches),
           static_cast<unsigned long long>(r.m.counters.atomic_ops),
-          static_cast<unsigned long long>(r.m.counters.flops), speedup,
+          static_cast<unsigned long long>(r.m.counters.flops),
+          static_cast<unsigned long long>(r.m.counters.combine_bytes),
+          r.m.shards, r.m.shard_peak_bytes, speedup,
           mem_ratio, i + 1 < rows_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");

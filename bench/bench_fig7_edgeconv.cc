@@ -32,7 +32,8 @@ int main(int argc, char** argv) {
       cfg.in_dim = 3;
       cfg.hidden = {64, 64, 128, 256};
       cfg.num_classes = 40;
-      Compiled c = compile_model(build_edgeconv(cfg, mrng), s, true, pc.graph);
+      Compiled c = compile_model(build_edgeconv(cfg, mrng), s, true, pc.graph,
+                                 opt.shards);
       MemoryPool pool;
       return measure_training(std::move(c), pc.graph, pc.coords, Tensor{},
                               labels, opt.steps, true, &pool);

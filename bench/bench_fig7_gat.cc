@@ -33,8 +33,10 @@ int main(int argc, char** argv) {
       cfg.prereorganized = s.prereorganized_gat;
       cfg.builtin_softmax = s.builtin_softmax;
       // Compile once (plan included); every measured step reuses the plan.
-      Compiled c =
-          compile_model(build_gat(cfg, mrng), s, /*training=*/true, data.graph);
+      // --shards=K compiles a sharded plan: fused kernels then run one pool
+      // task per shard (see ParallelPlanRunner / Trainer::enable_sharding).
+      Compiled c = compile_model(build_gat(cfg, mrng), s, /*training=*/true,
+                                 data.graph, opt.shards);
       MemoryPool pool;
       return measure_training(std::move(c), data.graph, data.features, Tensor{},
                               data.labels, opt.steps, true, &pool);

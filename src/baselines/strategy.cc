@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/timer.h"
+
 namespace triad {
 
 Strategy dgl_like() {
@@ -112,7 +114,8 @@ PassManager build_pipeline(const Strategy& s, bool training,
 }  // namespace
 
 Compiled compile_model(ModelGraph model, const Strategy& s, bool training,
-                       std::int64_t num_vertices, std::int64_t num_edges) {
+                       std::int64_t num_vertices, std::int64_t num_edges,
+                       std::shared_ptr<const Partitioning> partition) {
   Compiled c;
   c.init = std::move(model.init);
 
@@ -150,17 +153,38 @@ Compiled compile_model(ModelGraph model, const Strategy& s, bool training,
     // The plan keeps its own immutable copy of the graph; Compiled::ir stays
     // populated alongside it so introspection code works uniformly whether
     // or not a plan was baked.
-    c.plan = ExecutionPlan::compile_shared(ir, num_vertices, num_edges);
+    c.plan =
+        ExecutionPlan::compile_shared(ir, num_vertices, num_edges, partition.get());
     c.stats.plan_seconds = c.plan->compile_seconds();
+    c.partition = std::move(partition);
   }
   c.ir = std::move(ir);
   return c;
 }
 
 Compiled compile_model(ModelGraph model, const Strategy& s, bool training,
-                       const Graph& graph) {
-  return compile_model(std::move(model), s, training, graph.num_vertices(),
-                       graph.num_edges());
+                       const Graph& graph, int num_shards,
+                       PartitionStrategy strategy) {
+  std::shared_ptr<const Partitioning> part;
+  double partition_seconds = 0.0;
+  if (num_shards > 0) {
+    Timer timer;
+    part = std::make_shared<const Partitioning>(
+        Partitioning::build(graph, num_shards, strategy));
+    partition_seconds = timer.seconds();
+  }
+  Compiled c = compile_model(std::move(model), s, training, graph.num_vertices(),
+                             graph.num_edges(), part);
+  if (part != nullptr) {
+    // Partitioning is compile-time work; surface it in the same per-pass
+    // report (and the ir_passes counter) as the IR rewrites.
+    PassManager recorder;
+    recorder.note("partition(K=" + std::to_string(part->num_shards()) + ")",
+                  partition_seconds, c.ir.size());
+    c.stats.passes.push_back(recorder.report().front());
+    c.stats.pass_seconds += partition_seconds;
+  }
+  return c;
 }
 
 }  // namespace triad

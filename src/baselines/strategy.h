@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "engine/plan.h"
+#include "graph/partition.h"
 #include "ir/autodiff.h"
 #include "ir/passes/fusion.h"
 #include "ir/passes/pass_manager.h"
@@ -71,6 +72,9 @@ struct Compiled {
   /// Immutable execution artifact; set when compile_model was given graph
   /// dimensions. Shared by every PlanRunner/Trainer serving this model.
   std::shared_ptr<const ExecutionPlan> plan;
+  /// Placement artifact; set when compile_model was asked to shard. Trainers
+  /// built from this model execute fused kernels shard-parallel.
+  std::shared_ptr<const Partitioning> partition;
   CompileStats stats;
   int features = -1;
   int pseudo = -1;
@@ -85,12 +89,21 @@ struct Compiled {
 /// `training` appends the backward pass (autodiff) between reorg and the
 /// memory passes, exactly the pipeline order the paper's design implies.
 /// When `num_vertices`/`num_edges` are supplied (>= 0) the result also
-/// carries a compiled ExecutionPlan for that graph shape.
+/// carries a compiled ExecutionPlan for that graph shape. A non-null
+/// `partition` additionally bakes the per-shard schedule into the plan (the
+/// partitioning step is recorded in the compile report like a pass).
 Compiled compile_model(ModelGraph model, const Strategy& s, bool training,
                        std::int64_t num_vertices = -1,
-                       std::int64_t num_edges = -1);
+                       std::int64_t num_edges = -1,
+                       std::shared_ptr<const Partitioning> partition = nullptr);
 /// Convenience overload: compile against a concrete graph (always plans).
+/// `num_shards` > 0 builds a partitioning for the graph and compiles a
+/// sharded plan whose fused kernels run one pool task per shard. Note the
+/// K = 1 case is the *serial single-shard baseline* (one task, no
+/// intra-shard work stealing) — the reference point for shard-scaling
+/// measurements — while 0 keeps unsharded fine-grained chunked parallelism.
 Compiled compile_model(ModelGraph model, const Strategy& s, bool training,
-                       const Graph& graph);
+                       const Graph& graph, int num_shards = 0,
+                       PartitionStrategy strategy = PartitionStrategy::DegreeBalanced);
 
 }  // namespace triad

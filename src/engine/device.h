@@ -23,16 +23,22 @@ struct DeviceProfile {
   std::size_t capacity_bytes;
 
   /// Aggregate roofline: each kernel is bound by max(compute, traffic), the
-  /// atomic penalty adds serialized memory transactions.
+  /// atomic penalty adds serialized memory transactions, and — for sharded
+  /// runs (K > 1) — the boundary-combine exchange adds its cross-shard
+  /// traffic as a separate serialized term (combine cannot overlap the shard
+  /// kernels that produce its inputs). combine_bytes is zero for unsharded
+  /// runs, so K = 1 projections are unchanged.
   double modeled_seconds(const PerfCounters& c) const {
     const double compute_s =
         static_cast<double>(c.flops) / (fp32_tflops * 1e12);
     const double io_s = static_cast<double>(c.io_bytes()) / (mem_bw_gbs * 1e9);
     const double atomic_s =
         static_cast<double>(c.atomic_ops) * 8.0 / (mem_bw_gbs * 1e9);
+    const double combine_s =
+        static_cast<double>(c.combine_bytes) / (mem_bw_gbs * 1e9);
     const double launch_s =
         static_cast<double>(c.kernel_launches) * launch_overhead_us * 1e-6;
-    return std::max(compute_s, io_s) + atomic_s + launch_s;
+    return std::max(compute_s, io_s) + atomic_s + combine_s + launch_s;
   }
 };
 

@@ -24,31 +24,48 @@ void charge(std::uint64_t read, std::uint64_t write, std::uint64_t flops,
   c.kernel_launches += 1;
 }
 
-}  // namespace
+/// Drives a serial vertex-range core, one pool task per shard.
+template <typename Core>
+void for_each_vertex_shard(const Partitioning& part, const Core& core) {
+  parallel_for(0, part.num_shards(), [&](std::int64_t s) {
+    const Shard& sh = part.shard(static_cast<int>(s));
+    core(sh.v_lo, sh.v_hi);
+  }, /*grain=*/1);
+}
 
-void scatter(const Graph& g, ScatterFn fn, const Tensor& a, const Tensor* b,
-             Tensor& out, std::int64_t heads) {
-  const std::int64_t m = g.num_edges();
+/// Drives a serial edge-range core over K even flat-edge splits.
+template <typename Core>
+void for_each_edge_shard(const Partitioning& part, std::int64_t m,
+                         const Core& core) {
+  parallel_for(0, part.num_shards(), [&](std::int64_t s) {
+    const EdgeRange r = edge_shard_range(m, part.num_shards(), static_cast<int>(s));
+    core(r.lo, r.hi);
+  }, /*grain=*/1);
+}
+
+// --- Serial cores over shard views ------------------------------------------
+
+void scatter_range(const Graph& g, ScatterFn fn, const Tensor& a,
+                   const Tensor* b, Tensor& out, std::int64_t heads,
+                   std::int64_t e_lo, std::int64_t e_hi) {
   const std::int64_t ca = a.cols();
   const auto& src = g.edge_src();
   const auto& dst = g.edge_dst();
   switch (fn) {
     case ScatterFn::CopyU:
-      parallel_for(0, m, [&](std::int64_t e) {
+      for (std::int64_t e = e_lo; e < e_hi; ++e) {
         std::copy_n(a.row(src[e]), ca, out.row(e));
-      });
-      charge(m * ca * 4 + m * 4, m * ca * 4, 0);
+      }
       return;
     case ScatterFn::CopyV:
-      parallel_for(0, m, [&](std::int64_t e) {
+      for (std::int64_t e = e_lo; e < e_hi; ++e) {
         std::copy_n(a.row(dst[e]), ca, out.row(e));
-      });
-      charge(m * ca * 4 + m * 4, m * ca * 4, 0);
+      }
       return;
     case ScatterFn::AddUV:
     case ScatterFn::SubUV:
-    case ScatterFn::MulUV: {
-      parallel_for(0, m, [&](std::int64_t e) {
+    case ScatterFn::MulUV:
+      for (std::int64_t e = e_lo; e < e_hi; ++e) {
         const float* pu = a.row(src[e]);
         const float* pv = b->row(dst[e]);
         float* po = out.row(e);
@@ -62,23 +79,20 @@ void scatter(const Graph& g, ScatterFn fn, const Tensor& a, const Tensor* b,
           default:
             for (std::int64_t j = 0; j < ca; ++j) po[j] = pu[j] * pv[j];
         }
-      });
-      charge(2 * m * ca * 4 + m * 8, m * ca * 4, m * ca);
+      }
       return;
-    }
     case ScatterFn::ConcatUV: {
       const std::int64_t cb = b->cols();
-      parallel_for(0, m, [&](std::int64_t e) {
+      for (std::int64_t e = e_lo; e < e_hi; ++e) {
         float* po = out.row(e);
         std::copy_n(a.row(src[e]), ca, po);
         std::copy_n(b->row(dst[e]), cb, po + ca);
-      });
-      charge(m * (ca + cb) * 4 + m * 8, m * (ca + cb) * 4, 0);
+      }
       return;
     }
     case ScatterFn::DotUV: {
       const std::int64_t f = ca / heads;
-      parallel_for(0, m, [&](std::int64_t e) {
+      for (std::int64_t e = e_lo; e < e_hi; ++e) {
         const float* pu = a.row(src[e]);
         const float* pv = b->row(dst[e]);
         float* po = out.row(e);
@@ -87,20 +101,40 @@ void scatter(const Graph& g, ScatterFn fn, const Tensor& a, const Tensor* b,
           for (std::int64_t j = 0; j < f; ++j) acc += pu[h * f + j] * pv[h * f + j];
           po[h] = acc;
         }
-      });
-      charge(2 * m * ca * 4 + m * 8, m * heads * 4, 2 * m * ca);
+      }
       return;
     }
   }
 }
 
-void gather(const Graph& g, ReduceFn fn, bool reverse, const Tensor& edge_feat,
-            Tensor& out, IntTensor* argmax) {
-  const std::int64_t n = g.num_vertices();
+void charge_scatter(ScatterFn fn, std::int64_t ca, std::int64_t cb,
+                    std::int64_t heads, std::uint64_t m) {
+  switch (fn) {
+    case ScatterFn::CopyU:
+    case ScatterFn::CopyV:
+      charge(m * ca * 4 + m * 4, m * ca * 4, 0);
+      return;
+    case ScatterFn::AddUV:
+    case ScatterFn::SubUV:
+    case ScatterFn::MulUV:
+      charge(2 * m * ca * 4 + m * 8, m * ca * 4, m * ca);
+      return;
+    case ScatterFn::ConcatUV:
+      charge(m * (ca + cb) * 4 + m * 8, m * (ca + cb) * 4, 0);
+      return;
+    case ScatterFn::DotUV:
+      charge(2 * m * ca * 4 + m * 8, m * heads * 4, 2 * m * ca);
+      return;
+  }
+}
+
+void gather_range(const Graph& g, ReduceFn fn, bool reverse,
+                  const Tensor& edge_feat, Tensor& out, IntTensor* argmax,
+                  std::int64_t v_lo, std::int64_t v_hi) {
   const std::int64_t c = edge_feat.cols();
   const auto& ptr = reverse ? g.out_ptr() : g.in_ptr();
   const auto& eid = reverse ? g.out_eid() : g.in_eid();
-  parallel_for(0, n, [&](std::int64_t v) {
+  for (std::int64_t v = v_lo; v < v_hi; ++v) {
     float* po = out.row(v);
     const std::int64_t lo = ptr[v];
     const std::int64_t hi = ptr[v + 1];
@@ -137,10 +171,60 @@ void gather(const Graph& g, ReduceFn fn, bool reverse, const Tensor& edge_feat,
         break;
       }
     }
+  }
+}
+
+void charge_gather(std::uint64_t n, std::uint64_t m, std::int64_t c) {
+  charge(m * c * 4 + m * 4 + (n + 1) * 8, n * c * 4, m * c);
+}
+
+}  // namespace
+
+void scatter(const Graph& g, ScatterFn fn, const Tensor& a, const Tensor* b,
+             Tensor& out, std::int64_t heads) {
+  parallel_for_chunks(0, g.num_edges(), [&](std::int64_t lo, std::int64_t hi) {
+    scatter_range(g, fn, a, b, out, heads, lo, hi);
   });
-  const std::uint64_t m = g.num_edges();
-  charge(m * c * 4 + m * 4 + (n + 1) * 8, static_cast<std::uint64_t>(n) * c * 4,
-         m * c);
+  charge_scatter(fn, a.cols(), b != nullptr ? b->cols() : 0, heads,
+                 static_cast<std::uint64_t>(g.num_edges()));
+}
+
+void scatter_sharded(const Graph& g, const Partitioning& part, ScatterFn fn,
+                     const Tensor& a, const Tensor* b, Tensor& out,
+                     std::int64_t heads) {
+  const std::int64_t m = g.num_edges();
+  for_each_edge_shard(part, m, [&](std::int64_t lo, std::int64_t hi) {
+    scatter_range(g, fn, a, b, out, heads, lo, hi);
+  });
+  for (int s = 0; s < part.num_shards(); ++s) {
+    const EdgeRange r = edge_shard_range(m, part.num_shards(), s);
+    charge_scatter(fn, a.cols(), b != nullptr ? b->cols() : 0, heads,
+                   static_cast<std::uint64_t>(r.hi - r.lo));
+  }
+}
+
+void gather(const Graph& g, ReduceFn fn, bool reverse, const Tensor& edge_feat,
+            Tensor& out, IntTensor* argmax) {
+  parallel_for_chunks(0, g.num_vertices(), [&](std::int64_t lo, std::int64_t hi) {
+    gather_range(g, fn, reverse, edge_feat, out, argmax, lo, hi);
+  });
+  charge_gather(static_cast<std::uint64_t>(g.num_vertices()),
+                static_cast<std::uint64_t>(g.num_edges()), edge_feat.cols());
+}
+
+void gather_sharded(const Graph& g, const Partitioning& part, ReduceFn fn,
+                    bool reverse, const Tensor& edge_feat, Tensor& out,
+                    IntTensor* argmax) {
+  for_each_vertex_shard(part, [&](std::int64_t lo, std::int64_t hi) {
+    gather_range(g, fn, reverse, edge_feat, out, argmax, lo, hi);
+  });
+  const auto& ptr = reverse ? g.out_ptr() : g.in_ptr();
+  for (int s = 0; s < part.num_shards(); ++s) {
+    const Shard& sh = part.shard(s);
+    charge_gather(static_cast<std::uint64_t>(sh.num_vertices()),
+                  static_cast<std::uint64_t>(ptr[sh.v_hi] - ptr[sh.v_lo]),
+                  edge_feat.cols());
+  }
 }
 
 void gather_edge_balanced(const Graph& g, const Tensor& edge_feat, Tensor& out,
@@ -274,12 +358,14 @@ void slice_cols(const Tensor& x, Tensor& out, std::int64_t lo, std::int64_t hi) 
   charge(out.bytes(), out.bytes(), 0);
 }
 
-void edge_softmax(const Graph& g, const Tensor& scores, Tensor& out) {
-  const std::int64_t n = g.num_vertices();
+namespace {
+
+void edge_softmax_range(const Graph& g, const Tensor& scores, Tensor& out,
+                        std::int64_t v_lo, std::int64_t v_hi) {
   const std::int64_t h = scores.cols();
   const auto& ptr = g.in_ptr();
   const auto& eid = g.in_eid();
-  parallel_for(0, n, [&](std::int64_t v) {
+  for (std::int64_t v = v_lo; v < v_hi; ++v) {
     const std::int64_t lo = ptr[v];
     const std::int64_t hi = ptr[v + 1];
     for (std::int64_t j = 0; j < h; ++j) {
@@ -294,19 +380,20 @@ void edge_softmax(const Graph& g, const Tensor& scores, Tensor& out) {
         out.at(eid[i], j) = std::exp(scores.at(eid[i], j) - mx) / denom;
       }
     }
-  });
-  const std::uint64_t m = g.num_edges();
+  }
+}
+
+void charge_edge_softmax(std::uint64_t m, std::int64_t h) {
   // Fused three-pass kernel: score read thrice, output written once.
   charge(3 * m * h * 4 + m * 4, m * h * 4, 4 * m * h);
 }
 
-void edge_softmax_grad(const Graph& g, const Tensor& grad, const Tensor& w,
-                       Tensor& out) {
-  const std::int64_t n = g.num_vertices();
+void edge_softmax_grad_range(const Graph& g, const Tensor& grad, const Tensor& w,
+                             Tensor& out, std::int64_t v_lo, std::int64_t v_hi) {
   const std::int64_t h = grad.cols();
   const auto& ptr = g.in_ptr();
   const auto& eid = g.in_eid();
-  parallel_for(0, n, [&](std::int64_t v) {
+  for (std::int64_t v = v_lo; v < v_hi; ++v) {
     const std::int64_t lo = ptr[v];
     const std::int64_t hi = ptr[v + 1];
     for (std::int64_t j = 0; j < h; ++j) {
@@ -318,35 +405,119 @@ void edge_softmax_grad(const Graph& g, const Tensor& grad, const Tensor& w,
         out.at(eid[i], j) = w.at(eid[i], j) * (grad.at(eid[i], j) - dot);
       }
     }
-  });
-  const std::uint64_t m = g.num_edges();
-  charge(4 * m * h * 4 + m * 4, m * h * 4, 4 * m * h);
+  }
 }
 
-void gather_max_bwd(const Graph& g, const Tensor& grad_v, const IntTensor& argmax,
-                    Tensor& out, bool reverse) {
-  const std::int64_t n = g.num_vertices();
+void gather_max_bwd_range(const Tensor& grad_v, const IntTensor& argmax,
+                          Tensor& out, std::int64_t v_lo, std::int64_t v_hi) {
   const std::int64_t c = grad_v.cols();
-  out.fill(0.f);
-  parallel_for(0, n, [&](std::int64_t v) {
+  for (std::int64_t v = v_lo; v < v_hi; ++v) {
     const float* pg = grad_v.row(v);
     const std::int32_t* pm = argmax.data() + v * c;
     for (std::int64_t j = 0; j < c; ++j) {
       if (pm[j] >= 0) out.at(pm[j], j) = pg[j];
     }
+  }
+}
+
+void degree_inv_range(const Graph& g, Tensor& out, bool reverse,
+                      std::int64_t v_lo, std::int64_t v_hi) {
+  for (std::int64_t v = v_lo; v < v_hi; ++v) {
+    const std::int64_t d = reverse ? g.out_degree(v) : g.in_degree(v);
+    out.at(v, 0) = 1.f / static_cast<float>(std::max<std::int64_t>(1, d));
+  }
+}
+
+/// In-edges covered by a shard's owned range (the work unit of the
+/// dst-oriented special kernels).
+std::uint64_t shard_in_edges(const Graph& g, const Shard& sh) {
+  return static_cast<std::uint64_t>(g.in_ptr()[sh.v_hi] - g.in_ptr()[sh.v_lo]);
+}
+
+}  // namespace
+
+void edge_softmax(const Graph& g, const Tensor& scores, Tensor& out) {
+  parallel_for_chunks(0, g.num_vertices(), [&](std::int64_t lo, std::int64_t hi) {
+    edge_softmax_range(g, scores, out, lo, hi);
+  });
+  charge_edge_softmax(static_cast<std::uint64_t>(g.num_edges()), scores.cols());
+}
+
+void edge_softmax_sharded(const Graph& g, const Partitioning& part,
+                          const Tensor& scores, Tensor& out) {
+  for_each_vertex_shard(part, [&](std::int64_t lo, std::int64_t hi) {
+    edge_softmax_range(g, scores, out, lo, hi);
+  });
+  for (int s = 0; s < part.num_shards(); ++s) {
+    charge_edge_softmax(shard_in_edges(g, part.shard(s)), scores.cols());
+  }
+}
+
+void edge_softmax_grad(const Graph& g, const Tensor& grad, const Tensor& w,
+                       Tensor& out) {
+  parallel_for_chunks(0, g.num_vertices(), [&](std::int64_t lo, std::int64_t hi) {
+    edge_softmax_grad_range(g, grad, w, out, lo, hi);
+  });
+  const std::uint64_t m = g.num_edges();
+  const std::int64_t h = grad.cols();
+  charge(4 * m * h * 4 + m * 4, m * h * 4, 4 * m * h);
+}
+
+void edge_softmax_grad_sharded(const Graph& g, const Partitioning& part,
+                               const Tensor& grad, const Tensor& w, Tensor& out) {
+  for_each_vertex_shard(part, [&](std::int64_t lo, std::int64_t hi) {
+    edge_softmax_grad_range(g, grad, w, out, lo, hi);
+  });
+  const std::int64_t h = grad.cols();
+  for (int s = 0; s < part.num_shards(); ++s) {
+    const std::uint64_t m = shard_in_edges(g, part.shard(s));
+    charge(4 * m * h * 4 + m * 4, m * h * 4, 4 * m * h);
+  }
+}
+
+void gather_max_bwd(const Graph& g, const Tensor& grad_v, const IntTensor& argmax,
+                    Tensor& out, bool reverse) {
+  out.fill(0.f);
+  parallel_for_chunks(0, g.num_vertices(), [&](std::int64_t lo, std::int64_t hi) {
+    gather_max_bwd_range(grad_v, argmax, out, lo, hi);
   });
   (void)reverse;  // orientation only affects which aux was recorded
   const std::uint64_t m = g.num_edges();
-  charge(static_cast<std::uint64_t>(n) * c * 8, m * c * 4, 0);
+  const std::int64_t c = grad_v.cols();
+  charge(static_cast<std::uint64_t>(g.num_vertices()) * c * 8, m * c * 4, 0);
+}
+
+void gather_max_bwd_sharded(const Graph& g, const Partitioning& part,
+                            const Tensor& grad_v, const IntTensor& argmax,
+                            Tensor& out, bool reverse) {
+  out.fill(0.f);
+  for_each_vertex_shard(part, [&](std::int64_t lo, std::int64_t hi) {
+    gather_max_bwd_range(grad_v, argmax, out, lo, hi);
+  });
+  (void)reverse;
+  const std::int64_t c = grad_v.cols();
+  for (int s = 0; s < part.num_shards(); ++s) {
+    const Shard& sh = part.shard(s);
+    charge(static_cast<std::uint64_t>(sh.num_vertices()) * c * 8,
+           shard_in_edges(g, sh) * c * 4, 0);
+  }
 }
 
 void degree_inv(const Graph& g, Tensor& out, bool reverse) {
   const std::int64_t n = g.num_vertices();
-  for (std::int64_t v = 0; v < n; ++v) {
-    const std::int64_t d = reverse ? g.out_degree(v) : g.in_degree(v);
-    out.at(v, 0) = 1.f / static_cast<float>(std::max<std::int64_t>(1, d));
-  }
+  degree_inv_range(g, out, reverse, 0, n);
   charge((n + 1) * 8, static_cast<std::uint64_t>(n) * 4, static_cast<std::uint64_t>(n));
+}
+
+void degree_inv_sharded(const Graph& g, const Partitioning& part, Tensor& out,
+                        bool reverse) {
+  for_each_vertex_shard(part, [&](std::int64_t lo, std::int64_t hi) {
+    degree_inv_range(g, out, reverse, lo, hi);
+  });
+  for (int s = 0; s < part.num_shards(); ++s) {
+    const auto n = static_cast<std::uint64_t>(part.shard(s).num_vertices());
+    charge((n + 1) * 8, n * 4, n);
+  }
 }
 
 void gaussian(const Tensor& pseudo, const Tensor& mu, const Tensor& sigma,

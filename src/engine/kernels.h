@@ -6,11 +6,19 @@
 // vertex-centric ones — the status quo the paper's Section 5 starts from).
 // The traffic model is the paper's own: one global-memory access per tensor
 // element touched per edge/vertex, plus 4 B of adjacency index per edge.
+// Every graph kernel is implemented as a serial core over a shard view — a
+// contiguous vertex range (vertex-centric kernels) or edge range
+// (edge-centric kernels). The whole-graph entry points below drive the core
+// with fine-grained chunked parallelism; the *_sharded variants drive it
+// with one pool task per Partitioning shard and charge costs per shard.
+// Rows are independent in every shardable kernel, so both drivers produce
+// bit-identical output.
 #pragma once
 
 #include <cstdint>
 
 #include "graph/csr.h"
+#include "graph/partition.h"
 #include "ir/graph.h"
 #include "tensor/tensor.h"
 
@@ -69,5 +77,26 @@ void gaussian_grad_mu(const Tensor& grad, const Tensor& pseudo, const Tensor& mu
 void gaussian_grad_sigma(const Tensor& grad, const Tensor& pseudo,
                          const Tensor& mu, const Tensor& sigma, const Tensor& w,
                          Tensor& out);
+
+// --- Shard-parallel drivers -------------------------------------------------
+// One pool task per shard (the shard is the placement unit — no intra-shard
+// work stealing), analytic costs charged per shard: each shard is one
+// modeled kernel over its owned slice. Vertex-centric kernels split on the
+// owned-vertex ranges; edge-centric ones split the flat edge list evenly.
+void scatter_sharded(const Graph& g, const Partitioning& part, ScatterFn fn,
+                     const Tensor& a, const Tensor* b, Tensor& out,
+                     std::int64_t heads);
+void gather_sharded(const Graph& g, const Partitioning& part, ReduceFn fn,
+                    bool reverse, const Tensor& edge_feat, Tensor& out,
+                    IntTensor* argmax);
+void edge_softmax_sharded(const Graph& g, const Partitioning& part,
+                          const Tensor& scores, Tensor& out);
+void edge_softmax_grad_sharded(const Graph& g, const Partitioning& part,
+                               const Tensor& grad, const Tensor& w, Tensor& out);
+void gather_max_bwd_sharded(const Graph& g, const Partitioning& part,
+                            const Tensor& grad_v, const IntTensor& argmax,
+                            Tensor& out, bool reverse);
+void degree_inv_sharded(const Graph& g, const Partitioning& part, Tensor& out,
+                        bool reverse);
 
 }  // namespace triad::kernels

@@ -1,0 +1,26 @@
+#include "engine/parallel_runner.h"
+
+#include "support/macros.h"
+
+namespace triad {
+
+ParallelPlanRunner::ParallelPlanRunner(const Graph& graph,
+                                       std::shared_ptr<const ExecutionPlan> plan,
+                                       std::shared_ptr<const Partitioning> part,
+                                       MemoryPool* pool)
+    : part_(std::move(part)), runner_(graph, std::move(plan), pool) {
+  TRIAD_CHECK(part_ != nullptr, "ParallelPlanRunner requires a partitioning");
+  runner_.set_partitioning(part_.get());
+}
+
+ParallelPlanRunner::ParallelPlanRunner(const Graph& graph,
+                                       std::shared_ptr<const ExecutionPlan> plan,
+                                       int num_shards,
+                                       PartitionStrategy strategy,
+                                       MemoryPool* pool)
+    : ParallelPlanRunner(graph, std::move(plan),
+                         std::make_shared<const Partitioning>(
+                             Partitioning::build(graph, num_shards, strategy)),
+                         pool) {}
+
+}  // namespace triad

@@ -1,0 +1,67 @@
+// ParallelPlanRunner: shard-parallel execution of one ExecutionPlan.
+//
+// Where a PlanRunner executes fused kernels with fine-grained chunked
+// parallelism, a ParallelPlanRunner executes them shard-by-shard: the
+// Partitioning's owned-vertex ranges are the units of work handed to the
+// thread pool (support/parallel.h), one modeled kernel launch each, with
+// cross-shard reductions finalized by the VM's deterministic boundary
+// combine. Output is bit-identical to unsharded execution for every K (see
+// tests/test_sharded.cc), so sharding is purely a placement/performance
+// decision: K=1 runs one serial shard, K=4 on a 4-core pool runs four.
+//
+// The runner owns its Partitioning (shared, so a Trainer or a fleet of
+// runners can reuse one split) and composes a PlanRunner rather than
+// subclassing it — everything except fused-kernel dispatch is identical.
+#pragma once
+
+#include <memory>
+
+#include "engine/plan.h"
+#include "graph/partition.h"
+
+namespace triad {
+
+class ParallelPlanRunner {
+ public:
+  /// Shares an existing partitioning (must match `graph`).
+  ParallelPlanRunner(const Graph& graph,
+                     std::shared_ptr<const ExecutionPlan> plan,
+                     std::shared_ptr<const Partitioning> part,
+                     MemoryPool* pool = &global_pool_mem());
+
+  /// Convenience: builds a fresh K-way partitioning over `graph`.
+  ParallelPlanRunner(
+      const Graph& graph, std::shared_ptr<const ExecutionPlan> plan,
+      int num_shards,
+      PartitionStrategy strategy = PartitionStrategy::DegreeBalanced,
+      MemoryPool* pool = &global_pool_mem());
+
+  // PlanRunner interface, forwarded.
+  void bind(int node, Tensor t) { runner_.bind(node, std::move(t)); }
+  void run() { runner_.run(); }
+  void run_forward() { runner_.run_forward(); }
+  void run_backward() { runner_.run_backward(); }
+  const Tensor& result(int node) const { return runner_.result(node); }
+  Tensor& result_mut(int node) { return runner_.result_mut(node); }
+  bool has_result(int node) const { return runner_.has_result(node); }
+  const IntTensor& aux_of(int node) const { return runner_.aux_of(node); }
+  const Graph& graph() const { return runner_.graph(); }
+  const ExecutionPlan& plan() const { return runner_.plan(); }
+  const IrGraph& ir() const { return runner_.ir(); }
+  MemoryPool& pool() { return runner_.pool(); }
+
+  const Partitioning& partitioning() const { return *part_; }
+  std::shared_ptr<const Partitioning> shared_partitioning() const {
+    return part_;
+  }
+  int num_shards() const { return part_->num_shards(); }
+
+  /// The underlying per-request state (advanced use: rebinding, cursors).
+  PlanRunner& runner() { return runner_; }
+
+ private:
+  std::shared_ptr<const Partitioning> part_;
+  PlanRunner runner_;
+};
+
+}  // namespace triad

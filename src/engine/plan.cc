@@ -33,9 +33,16 @@ MemTag tag_of(const Node& n, int last_consumer, int backward_start) {
 }  // namespace
 
 ExecutionPlan ExecutionPlan::compile(IrGraph ir, std::int64_t num_vertices,
-                                     std::int64_t num_edges) {
+                                     std::int64_t num_edges,
+                                     const Partitioning* part) {
   Timer timer;
   ir.validate(num_vertices, num_edges);
+  if (part != nullptr) {
+    TRIAD_CHECK_EQ(part->num_vertices(), num_vertices,
+                   "partitioning built for a different |V|");
+    TRIAD_CHECK_EQ(part->num_edges(), num_edges,
+                   "partitioning built for a different |E|");
+  }
 
   ExecutionPlan p;
   const int n = ir.size();
@@ -115,17 +122,92 @@ ExecutionPlan ExecutionPlan::compile(IrGraph ir, std::int64_t num_vertices,
     }
   }
 
-  // Simulate one run over the schedule for the peak estimate.
-  std::size_t live = p.persistent_bytes_;
-  std::size_t peak = live;
-  for (int id = 0; id < n; ++id) {
-    live += static_cast<std::size_t>(p.steps_[id].alloc_bytes);
-    peak = std::max(peak, live);
-    for (int f : p.steps_[id].free_after) {
-      live -= static_cast<std::size_t>(slot_bytes[f] + aux_bytes[f]);
+  // Simulate one run over the schedule for the peak estimate. The same
+  // simulation replays per shard with footprints rescaled to the shard's
+  // owned vertices / local edges (parameters replicated in full), yielding
+  // the per-shard peaks capacity placement needs. A scale of 1/1 over the
+  // full dimensions is exactly the single-shard estimate.
+  const auto simulate = [&](std::int64_t n_v, std::int64_t m_e,
+                            std::size_t* persistent_out) -> std::size_t {
+    const auto scaled = [&](int id) -> std::size_t {
+      const Node& nd = ir.node(id);
+      std::int64_t rows = 0;
+      switch (nd.space) {
+        case Space::Vertex: rows = n_v; break;
+        case Space::Edge: rows = m_e; break;
+        case Space::Param: rows = nd.rows; break;
+      }
+      std::size_t bytes = 0;
+      if (slot_bytes[id] > 0) {
+        bytes += static_cast<std::size_t>(rows * nd.cols) * sizeof(float);
+      }
+      if (aux_bytes[id] > 0) {
+        // aux width can differ from nd.cols for fused outputs; recover it
+        // from the compiled per-row byte count.
+        const std::int64_t full_rows = p.steps_[id].rows;
+        bytes += full_rows > 0 ? static_cast<std::size_t>(
+                                     aux_bytes[id] / full_rows * rows)
+                               : 0;
+      }
+      return bytes;
+    };
+    std::size_t persistent = 0;
+    for (int id = 0; id < n; ++id) {
+      const Node& nd = ir.node(id);
+      if (nd.kind == OpKind::Input || nd.kind == OpKind::Param) {
+        persistent += scaled(id);
+      }
+    }
+    if (persistent_out != nullptr) *persistent_out = persistent;
+    std::size_t live = persistent;
+    std::size_t peak = live;
+    for (int id = 0; id < n; ++id) {
+      const Node& nd = ir.node(id);
+      // Bytes alive only while this step executes (the VM's boundary-combine
+      // stash: one |E|-row workspace per cross-orientation reduction).
+      std::size_t transient = 0;
+      switch (nd.kind) {
+        case OpKind::Input:
+        case OpKind::Param:
+        case OpKind::FusedOut:
+          break;
+        case OpKind::Fused: {
+          const EdgeProgram& ep = ir.programs.at(nd.program);
+          for (const VertexOutput& vo : ep.vertex_outputs) {
+            live += scaled(vo.node);
+            const bool boundary = ep.mapping == WorkMapping::EdgeBalanced ||
+                                  vo.reverse == ep.dst_major;
+            if (boundary) {
+              transient += static_cast<std::size_t>(m_e * vo.width) * sizeof(float);
+            }
+          }
+          for (const EdgeOutput& eo : ep.edge_outputs) live += scaled(eo.node);
+          break;
+        }
+        default:
+          live += scaled(id);
+          break;
+      }
+      peak = std::max(peak, live + transient);
+      for (int f : p.steps_[id].free_after) live -= scaled(f);
+    }
+    return peak;
+  };
+  p.estimated_peak_bytes_ = simulate(num_vertices, num_edges, nullptr);
+
+  if (part != nullptr) {
+    p.shards_.resize(part->num_shards());
+    for (int s = 0; s < part->num_shards(); ++s) {
+      const Shard& sh = part->shard(s);
+      ShardSchedule& ss = p.shards_[s];
+      ss.v_lo = sh.v_lo;
+      ss.v_hi = sh.v_hi;
+      ss.num_vertices = sh.num_vertices();
+      ss.local_edges = sh.num_in_edges();
+      ss.estimated_peak_bytes =
+          simulate(ss.num_vertices, ss.local_edges, &ss.persistent_bytes);
     }
   }
-  p.estimated_peak_bytes_ = peak;
 
   p.ir_ = std::move(ir);
   p.compile_seconds_ = timer.seconds();
@@ -134,9 +216,19 @@ ExecutionPlan ExecutionPlan::compile(IrGraph ir, std::int64_t num_vertices,
 }
 
 std::shared_ptr<const ExecutionPlan> ExecutionPlan::compile_shared(
-    IrGraph ir, std::int64_t num_vertices, std::int64_t num_edges) {
+    IrGraph ir, std::int64_t num_vertices, std::int64_t num_edges,
+    const Partitioning* part) {
   return std::make_shared<const ExecutionPlan>(
-      compile(std::move(ir), num_vertices, num_edges));
+      compile(std::move(ir), num_vertices, num_edges, part));
+}
+
+std::size_t ExecutionPlan::max_shard_peak_bytes() const {
+  if (shards_.empty()) return estimated_peak_bytes_;
+  std::size_t mx = 0;
+  for (const ShardSchedule& ss : shards_) {
+    mx = std::max(mx, ss.estimated_peak_bytes);
+  }
+  return mx;
 }
 
 // --- PlanRunner -------------------------------------------------------------
@@ -152,6 +244,16 @@ PlanRunner::PlanRunner(const Graph& graph,
                  "plan was compiled for a different |E|");
   slots_.resize(plan_->size());
   aux_.resize(plan_->size());
+}
+
+void PlanRunner::set_partitioning(const Partitioning* part) {
+  if (part != nullptr) {
+    TRIAD_CHECK_EQ(part->num_vertices(), graph_.num_vertices(),
+                   "partitioning built for a different |V|");
+    TRIAD_CHECK_EQ(part->num_edges(), graph_.num_edges(),
+                   "partitioning built for a different |E|");
+  }
+  partition_ = part;
 }
 
 void PlanRunner::bind(int node, Tensor t) {
@@ -228,7 +330,11 @@ void PlanRunner::exec_node(const Node& n) {
       Tensor& out = alloc_slot(n.id);
       const Tensor& a = result(n.inputs[0]);
       const Tensor* b = n.inputs.size() > 1 ? &result(n.inputs[1]) : nullptr;
-      kernels::scatter(graph_, n.sfn, a, b, out, n.heads);
+      if (partition_ != nullptr) {
+        kernels::scatter_sharded(graph_, *partition_, n.sfn, a, b, out, n.heads);
+      } else {
+        kernels::scatter(graph_, n.sfn, a, b, out, n.heads);
+      }
       return;
     }
     case OpKind::Gather: {
@@ -239,7 +345,13 @@ void PlanRunner::exec_node(const Node& n) {
         aux_[n.id] = IntTensor(st.rows, n.cols, st.tag, pool_);
         argmax = &aux_[n.id];
       }
-      kernels::gather(graph_, n.rfn, n.reverse, result(n.inputs[0]), out, argmax);
+      if (partition_ != nullptr) {
+        kernels::gather_sharded(graph_, *partition_, n.rfn, n.reverse,
+                                result(n.inputs[0]), out, argmax);
+      } else {
+        kernels::gather(graph_, n.rfn, n.reverse, result(n.inputs[0]), out,
+                        argmax);
+      }
       return;
     }
     case OpKind::Apply:
@@ -308,24 +420,44 @@ void PlanRunner::exec_special(const Node& n) {
   switch (n.spfn) {
     case SpecialFn::EdgeSoftmax: {
       Tensor& out = alloc_slot(n.id);
-      kernels::edge_softmax(graph_, result(n.inputs[0]), out);
+      if (partition_ != nullptr) {
+        kernels::edge_softmax_sharded(graph_, *partition_, result(n.inputs[0]),
+                                      out);
+      } else {
+        kernels::edge_softmax(graph_, result(n.inputs[0]), out);
+      }
       return;
     }
     case SpecialFn::EdgeSoftmaxGrad: {
       Tensor& out = alloc_slot(n.id);
-      kernels::edge_softmax_grad(graph_, result(n.inputs[0]), result(n.inputs[1]),
-                                 out);
+      if (partition_ != nullptr) {
+        kernels::edge_softmax_grad_sharded(graph_, *partition_,
+                                           result(n.inputs[0]),
+                                           result(n.inputs[1]), out);
+      } else {
+        kernels::edge_softmax_grad(graph_, result(n.inputs[0]),
+                                   result(n.inputs[1]), out);
+      }
       return;
     }
     case SpecialFn::GatherMaxBwd: {
       Tensor& out = alloc_slot(n.id);
-      kernels::gather_max_bwd(graph_, result(n.inputs[0]), aux_of(n.inputs[1]),
-                              out, n.reverse);
+      if (partition_ != nullptr) {
+        kernels::gather_max_bwd_sharded(graph_, *partition_, result(n.inputs[0]),
+                                        aux_of(n.inputs[1]), out, n.reverse);
+      } else {
+        kernels::gather_max_bwd(graph_, result(n.inputs[0]), aux_of(n.inputs[1]),
+                                out, n.reverse);
+      }
       return;
     }
     case SpecialFn::DegreeInv: {
       Tensor& out = alloc_slot(n.id);
-      kernels::degree_inv(graph_, out, n.reverse);
+      if (partition_ != nullptr) {
+        kernels::degree_inv_sharded(graph_, *partition_, out, n.reverse);
+      } else {
+        kernels::degree_inv(graph_, out, n.reverse);
+      }
       return;
     }
     case SpecialFn::Gaussian: {
@@ -354,10 +486,9 @@ void PlanRunner::exec_special(const Node& n) {
 void PlanRunner::exec_fused(const Node& n) {
   const EdgeProgram& ep = ir().programs.at(n.program);
   for (const VertexOutput& vo : ep.vertex_outputs) {
-    Tensor& out = alloc_slot(vo.node);
-    const bool atomic = ep.mapping == WorkMapping::EdgeBalanced ||
-                        vo.reverse == ep.dst_major;
-    if (atomic) out.fill(0.f);
+    alloc_slot(vo.node);
+    // Boundary (cross-orientation / edge-balanced) outputs need no
+    // zero-fill: the combine sweep writes every target row.
     if (vo.track_argmax) {
       const PlanStep& st = plan_->step(vo.node);
       aux_[vo.node] = IntTensor(st.rows, vo.width, st.tag, pool_);
@@ -370,7 +501,12 @@ void PlanRunner::exec_fused(const Node& n) {
   b.aux = [this](int id) -> const IntTensor& { return aux_of(id); };
   b.out = [this](int id) -> Tensor& { return result_mut(id); };
   b.out_aux = [this](int id) -> IntTensor& { return aux_[id]; };
-  run_edge_program(graph_, ep, b);
+  b.pool = pool_;
+  if (partition_ != nullptr) {
+    run_edge_program_sharded(graph_, *partition_, ep, b);
+  } else {
+    run_edge_program(graph_, ep, b);
+  }
 }
 
 }  // namespace triad

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "graph/csr.h"
+#include "graph/partition.h"
 #include "ir/graph.h"
 #include "tensor/mempool.h"
 #include "tensor/tensor.h"
@@ -38,14 +39,33 @@ struct PlanStep {
   std::vector<int> free_after;
 };
 
+/// One shard's slice of the compiled schedule. The step order, memory tags,
+/// and free-lists are shared with the plan (every shard executes the same
+/// program); what varies per shard is the data footprint: vertex-space
+/// tensors scale with the owned range, edge-space tensors with the local
+/// edge count, parameters are replicated. The peak estimate replays the
+/// plan's liveness simulation at shard scale, which is what lets a plan be
+/// placed shard-by-shard on capacity-limited DeviceProfiles.
+struct ShardSchedule {
+  std::int64_t v_lo = 0, v_hi = 0;     ///< owned vertex range
+  std::int64_t num_vertices = 0;
+  std::int64_t local_edges = 0;        ///< in-edges of owned vertices
+  std::size_t persistent_bytes = 0;    ///< bound inputs (scaled) + params (full)
+  std::size_t estimated_peak_bytes = 0;
+};
+
 class ExecutionPlan {
  public:
   /// Compiles `ir` against the graph dimensions: validates, classifies, and
-  /// precomputes the schedule. The plan is immutable afterwards.
+  /// precomputes the schedule. When a Partitioning is supplied the plan also
+  /// carries a per-shard schedule (scaled footprints + per-shard peak
+  /// estimates). The plan is immutable afterwards.
   static ExecutionPlan compile(IrGraph ir, std::int64_t num_vertices,
-                               std::int64_t num_edges);
+                               std::int64_t num_edges,
+                               const Partitioning* part = nullptr);
   static std::shared_ptr<const ExecutionPlan> compile_shared(
-      IrGraph ir, std::int64_t num_vertices, std::int64_t num_edges);
+      IrGraph ir, std::int64_t num_vertices, std::int64_t num_edges,
+      const Partitioning* part = nullptr);
 
   ExecutionPlan(ExecutionPlan&&) = default;
   ExecutionPlan& operator=(ExecutionPlan&&) = default;
@@ -66,6 +86,22 @@ class ExecutionPlan {
   std::size_t persistent_bytes() const { return persistent_bytes_; }
   std::size_t estimated_peak_bytes() const { return estimated_peak_bytes_; }
 
+  /// Per-shard schedule (empty when compiled without a Partitioning).
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  const ShardSchedule& shard_schedule(int s) const { return shards_[s]; }
+  /// Largest per-shard peak — the number to compare against a capacity-
+  /// limited DeviceProfile when placing one shard per device. NOTE: this is
+  /// the hypothetical one-shard-per-device placement model (each device
+  /// holds its owned slice of every tensor). The current shared-memory
+  /// runtime allocates full-graph tensors regardless of K, so its actual
+  /// footprint is estimated_peak_bytes(), not this.
+  std::size_t max_shard_peak_bytes() const;
+  /// True when every shard's modeled placement peak fits `capacity_bytes`
+  /// (see max_shard_peak_bytes for what that does and does not promise).
+  bool shards_fit(std::size_t capacity_bytes) const {
+    return max_shard_peak_bytes() <= capacity_bytes;
+  }
+
   /// Wall time compile() spent building this plan.
   double compile_seconds() const { return compile_seconds_; }
 
@@ -80,6 +116,7 @@ class ExecutionPlan {
   std::vector<char> is_output_;
   std::size_t persistent_bytes_ = 0;
   std::size_t estimated_peak_bytes_ = 0;
+  std::vector<ShardSchedule> shards_;
   double compile_seconds_ = 0.0;
 };
 
@@ -102,6 +139,14 @@ class PlanRunner {
   /// run_backward() completes the step.
   void run_forward();
   void run_backward();
+
+  /// Installs (or clears, with nullptr) a partitioning: fused programs then
+  /// execute shard-by-shard across the thread pool, each shard one unit of
+  /// placement, with deterministic boundary combine — output stays
+  /// bit-identical to unsharded execution. The Partitioning must outlive the
+  /// runner and match the graph. Non-graph kernels are unaffected.
+  void set_partitioning(const Partitioning* part);
+  const Partitioning* partitioning() const { return partition_; }
 
   /// Tensor produced by (or bound to) `node`; valid for bound nodes and
   /// outputs after run(), or any node before its plan-scheduled free point.
@@ -126,6 +171,7 @@ class PlanRunner {
   const Graph& graph_;
   std::shared_ptr<const ExecutionPlan> plan_;
   MemoryPool* pool_;
+  const Partitioning* partition_ = nullptr;  ///< non-owning; null = unsharded
 
   std::vector<Tensor> slots_;
   std::vector<IntTensor> aux_;

@@ -40,6 +40,13 @@ struct ResolvedProgram {
   std::vector<std::vector<RInstr>> phases;
   std::vector<float*> vout_data;        // per vertex_output
   std::vector<std::int32_t*> vout_aux;  // argmax outputs (or nullptr)
+  // Boundary (cross-orientation) reductions: per-edge contribution stash,
+  // written during the walk and reduced by the deterministic combine sweep.
+  // Pool-accounted workspace (it is the VM's dominant transient allocation);
+  // indexed like vertex_outputs, undefined entry = sequential reduction.
+  // Never zero-filled: the walk writes every slot before the combine reads.
+  std::vector<Tensor> boundary;
+  std::vector<float*> boundary_ptr;  // hot-path aliases of `boundary`
 };
 
 struct WorkerState {
@@ -72,7 +79,14 @@ void init_worker(WorkerState& ws, const EdgeProgram& ep) {
   ws.count.assign(ep.vertex_outputs.size(), 0);
 }
 
-ResolvedProgram resolve(const EdgeProgram& ep, const VmBindings& b) {
+/// True when this vertex output is reduced sequentially in the worker that
+/// owns the center vertex; false = boundary (stash + combine).
+inline bool sequential_reduce(const EdgeProgram& ep, const VertexOutput& vo) {
+  return ep.mapping == WorkMapping::VertexBalanced && vo.reverse != ep.dst_major;
+}
+
+ResolvedProgram resolve(const Graph& g, const EdgeProgram& ep,
+                        const VmBindings& b) {
   ResolvedProgram rp;
   rp.phases.resize(ep.phases.size());
   for (std::size_t p = 0; p < ep.phases.size(); ++p) {
@@ -127,10 +141,26 @@ ResolvedProgram resolve(const EdgeProgram& ep, const VmBindings& b) {
   }
   rp.vout_data.resize(ep.vertex_outputs.size());
   rp.vout_aux.assign(ep.vertex_outputs.size(), nullptr);
+  rp.boundary.resize(ep.vertex_outputs.size());
+  rp.boundary_ptr.assign(ep.vertex_outputs.size(), nullptr);
+  MemoryPool* pool = b.pool != nullptr ? b.pool : &global_pool_mem();
   for (std::size_t i = 0; i < ep.vertex_outputs.size(); ++i) {
-    rp.vout_data[i] = b.out(ep.vertex_outputs[i].node).data();
-    if (ep.vertex_outputs[i].track_argmax) {
-      rp.vout_aux[i] = b.out_aux(ep.vertex_outputs[i].node).data();
+    const VertexOutput& vo = ep.vertex_outputs[i];
+    rp.vout_data[i] = b.out(vo.node).data();
+    if (vo.track_argmax) {
+      rp.vout_aux[i] = b.out_aux(vo.node).data();
+    }
+    if (!sequential_reduce(ep, vo)) {
+      TRIAD_CHECK(static_cast<ReduceFn>(vo.rfn) == ReduceFn::Sum,
+                  "boundary reductions support Sum only");
+      // Allocated per call, not cached across steps: at most one program's
+      // stash is live at a time, so peak memory — the metric the recompute
+      // pass optimizes — stays one O(|E| x width) buffer instead of one per
+      // fused node. The alloc/free churn matches the engine's existing
+      // per-step slot allocation discipline.
+      rp.boundary[i] =
+          Tensor(g.num_edges(), vo.width, MemTag::kWorkspace, pool);
+      rp.boundary_ptr[i] = rp.boundary[i].data();
     }
   }
   return rp;
@@ -139,7 +169,7 @@ ResolvedProgram resolve(const EdgeProgram& ep, const VmBindings& b) {
 /// Evaluates one instruction for the current edge. `center` is the vertex the
 /// worker owns (dst in dst-major kernels).
 inline void eval_instr(const RInstr& in, WorkerState& ws, const EdgeProgram& ep,
-                       const ResolvedProgram& rp, std::int64_t src,
+                       ResolvedProgram& rp, std::int64_t src,
                        std::int64_t dst, std::int64_t eid, std::int64_t center) {
   const float* a = in.a >= 0 ? ws.ptr[in.a] : nullptr;
   const float* bb = in.b >= 0 ? ws.ptr[in.b] : nullptr;
@@ -253,9 +283,7 @@ inline void eval_instr(const RInstr& in, WorkerState& ws, const EdgeProgram& ep,
     }
     case EPOp::Reduce: {
       const VertexOutput& vo = ep.vertex_outputs[in.acc];
-      const bool same_orientation =
-          ep.mapping == WorkMapping::VertexBalanced && vo.reverse != ep.dst_major;
-      if (same_orientation) {
+      if (sequential_reduce(ep, vo)) {
         float* accp = ws.acc.data() + ws.acc_base[in.acc];
         switch (static_cast<ReduceFn>(vo.rfn)) {
           case ReduceFn::Sum:
@@ -275,9 +303,11 @@ inline void eval_instr(const RInstr& in, WorkerState& ws, const EdgeProgram& ep,
         }
         ws.count[in.acc] += 1;
       } else {
-        const std::int64_t target = vo.reverse ? src : dst;
-        float* out_row = rp.vout_data[in.acc] + target * w;
-        for (std::int64_t j = 0; j < w; ++j) atomic_add(out_row + j, a[j]);
+        // Boundary reduction: stash this edge's contribution; the combine
+        // sweep folds it into the target row in fixed adjacency order. Each
+        // edge runs the phase exactly once, so a plain store suffices.
+        float* stash = rp.boundary_ptr[in.acc] + eid * w;
+        for (std::int64_t j = 0; j < w; ++j) stash[j] = a[j];
       }
       break;
     }
@@ -287,11 +317,126 @@ inline void eval_instr(const RInstr& in, WorkerState& ws, const EdgeProgram& ep,
   }
 }
 
-/// Analytic cost accounting for one full program execution.
-void charge_program(const Graph& g, const EdgeProgram& ep) {
+/// Walks vertices [v_lo, v_hi) of the primary orientation, running every
+/// phase per vertex. Strictly serial — shard bodies and chunk bodies call
+/// this from pool workers, so it must not spawn nested parallelism.
+void walk_vertex_range(const Graph& g, const EdgeProgram& ep,
+                       ResolvedProgram& rp, std::int64_t v_lo,
+                       std::int64_t v_hi) {
+  const auto& ptr = ep.dst_major ? g.in_ptr() : g.out_ptr();
+  const auto& adj = ep.dst_major ? g.in_src() : g.out_dst();
+  const auto& eid = ep.dst_major ? g.in_eid() : g.out_eid();
+  WorkerState ws;
+  init_worker(ws, ep);
+  for (std::int64_t v = v_lo; v < v_hi; ++v) {
+    const std::int64_t elo = ptr[v];
+    const std::int64_t ehi = ptr[v + 1];
+    for (std::size_t p = 0; p < ep.phases.size(); ++p) {
+      // Init sequential accumulators fed by this phase.
+      for (std::size_t i = 0; i < ep.vertex_outputs.size(); ++i) {
+        const VertexOutput& vo = ep.vertex_outputs[i];
+        if (vo.phase != static_cast<int>(p)) continue;
+        if (!sequential_reduce(ep, vo)) continue;  // boundary, no local acc
+        float* accp = ws.acc.data() + ws.acc_base[i];
+        const float init =
+            static_cast<ReduceFn>(vo.rfn) == ReduceFn::Max ? kNegInf : 0.f;
+        std::fill_n(accp, vo.width, init);
+        std::fill_n(ws.acc_arg.data() + ws.acc_base[i], vo.width, -1);
+        ws.count[i] = 0;
+      }
+      std::vector<RInstr>& instrs = rp.phases[p];
+      for (std::int64_t i = elo; i < ehi; ++i) {
+        const std::int64_t other = adj[i];
+        const std::int64_t e = eid[i];
+        const std::int64_t src = ep.dst_major ? other : v;
+        const std::int64_t dst = ep.dst_major ? v : other;
+        for (const RInstr& in : instrs) {
+          eval_instr(in, ws, ep, rp, src, dst, e, v);
+        }
+      }
+      // Finalize this phase's sequential reductions for vertex v.
+      for (std::size_t i = 0; i < ep.vertex_outputs.size(); ++i) {
+        const VertexOutput& vo = ep.vertex_outputs[i];
+        if (vo.phase != static_cast<int>(p)) continue;
+        if (!sequential_reduce(ep, vo)) continue;
+        float* accp = ws.acc.data() + ws.acc_base[i];
+        const auto rf = static_cast<ReduceFn>(vo.rfn);
+        if (rf == ReduceFn::Mean && ws.count[i] > 0) {
+          const float inv = 1.f / static_cast<float>(ws.count[i]);
+          for (std::int64_t j = 0; j < vo.width; ++j) accp[j] *= inv;
+        }
+        if (rf == ReduceFn::Max && ws.count[i] == 0) {
+          std::fill_n(accp, vo.width, 0.f);  // isolated vertex
+        }
+        std::copy_n(accp, vo.width, rp.vout_data[i] + v * vo.width);
+        if (vo.track_argmax) {
+          std::copy_n(ws.acc_arg.data() + ws.acc_base[i], vo.width,
+                      rp.vout_aux[i] + v * vo.width);
+        }
+      }
+    }
+  }
+}
+
+/// Edge-balanced walk over edges [e_lo, e_hi). Serial; see walk_vertex_range.
+void walk_edge_range(const Graph& g, const EdgeProgram& ep, ResolvedProgram& rp,
+                     std::int64_t e_lo, std::int64_t e_hi) {
+  const auto& esrc = g.edge_src();
+  const auto& edst = g.edge_dst();
+  WorkerState ws;
+  init_worker(ws, ep);
+  std::vector<RInstr>& instrs = rp.phases[0];
+  for (std::int64_t e = e_lo; e < e_hi; ++e) {
+    const std::int64_t src = esrc[e];
+    const std::int64_t dst = edst[e];
+    for (const RInstr& in : instrs) {
+      TRIAD_CHECK(in.op != EPOp::LoadAcc,
+                  "LoadAcc is invalid under edge-balanced mapping");
+      eval_instr(in, ws, ep, rp, src, dst, e, dst);
+    }
+  }
+}
+
+/// Boundary combine: folds every stashed per-edge contribution into its
+/// target row, walking each target's reverse-orientation edge list. The list
+/// order is a property of the graph, so the reduction order — and therefore
+/// the floating-point result — is identical for every thread/shard count.
+void combine_boundary(const Graph& g, const EdgeProgram& ep,
+                      ResolvedProgram& rp) {
+  const std::int64_t n = g.num_vertices();
+  for (std::size_t i = 0; i < ep.vertex_outputs.size(); ++i) {
+    if (sequential_reduce(ep, ep.vertex_outputs[i])) continue;
+    const VertexOutput& vo = ep.vertex_outputs[i];
+    const std::int64_t w = vo.width;
+    // Targets are src vertices when reverse, dst vertices otherwise.
+    const auto& ptr = vo.reverse ? g.out_ptr() : g.in_ptr();
+    const auto& eid = vo.reverse ? g.out_eid() : g.in_eid();
+    const float* stash = rp.boundary_ptr[i];
+    float* out = rp.vout_data[i];
+    parallel_for_chunks(0, n, [&](std::int64_t t_lo, std::int64_t t_hi) {
+      for (std::int64_t t = t_lo; t < t_hi; ++t) {
+        float* row = out + t * w;
+        std::fill_n(row, w, 0.f);
+        for (std::int64_t k = ptr[t]; k < ptr[t + 1]; ++k) {
+          const float* c = stash + static_cast<std::int64_t>(eid[k]) * w;
+          for (std::int64_t j = 0; j < w; ++j) row[j] += c[j];
+        }
+      }
+    }, /*grain=*/256);
+  }
+}
+
+/// Analytic cost accounting for one kernel covering `n_v` vertices and `m_e`
+/// edges of the primary orientation — the whole graph for a single-shard
+/// run, one shard's owned range for sharded runs (counters are charged per
+/// shard; shard sums partition the single-shard totals exactly). The model
+/// is unchanged from the paper's: boundary reductions are charged as the
+/// conventional GPU atomic discipline regardless of how the CPU realizes
+/// them, so figures stay comparable across runtimes.
+void charge_program(std::int64_t n_v, std::int64_t m_e, const EdgeProgram& ep) {
   PerfCounters& c = global_counters();
-  const auto m = static_cast<std::uint64_t>(g.num_edges());
-  const auto n = static_cast<std::uint64_t>(g.num_vertices());
+  const auto m = static_cast<std::uint64_t>(m_e);
+  const auto n = static_cast<std::uint64_t>(n_v);
   std::uint64_t read = 0, write = 0, flops = 0, atomics = 0, onchip = 0;
   for (std::size_t p = 0; p < ep.phases.size(); ++p) {
     read += m * 4 + n * 8;  // adjacency per phase sweep
@@ -312,9 +457,7 @@ void charge_program(const Graph& g, const EdgeProgram& ep) {
           break;
         case EPOp::Reduce: {
           const VertexOutput& vo = ep.vertex_outputs[in.acc];
-          const bool same_orientation =
-              ep.mapping == WorkMapping::VertexBalanced && vo.reverse != ep.dst_major;
-          if (same_orientation) {
+          if (sequential_reduce(ep, vo)) {
             flops += m * w;
             onchip += m * w * 4;
           } else {
@@ -345,9 +488,9 @@ void charge_program(const Graph& g, const EdgeProgram& ep) {
     }
   }
   for (const VertexOutput& vo : ep.vertex_outputs) {
-    const bool same_orientation =
-        ep.mapping == WorkMapping::VertexBalanced && vo.reverse != ep.dst_major;
-    if (same_orientation) write += n * static_cast<std::uint64_t>(vo.width) * 4;
+    if (sequential_reduce(ep, vo)) {
+      write += n * static_cast<std::uint64_t>(vo.width) * 4;
+    }
   }
   c.dram_read_bytes += read;
   c.dram_write_bytes += write;
@@ -357,96 +500,94 @@ void charge_program(const Graph& g, const EdgeProgram& ep) {
   c.kernel_launches += 1;
 }
 
-}  // namespace
+/// Extra accounting a sharded run incurs on top of the per-shard kernels:
+/// cross-shard boundary contributions must leave the shard and be folded at
+/// the owner — one modeled read + write per crossing element per boundary
+/// reduction (the halo-exchange analogue of Dorylus/NeutronStar).
+void charge_sharded_combine(const Partitioning& part, const EdgeProgram& ep) {
+  PerfCounters& c = global_counters();
+  const auto cut = static_cast<std::uint64_t>(part.cut_edges());
+  for (const VertexOutput& vo : ep.vertex_outputs) {
+    if (sequential_reduce(ep, vo)) continue;
+    c.combine_bytes += cut * static_cast<std::uint64_t>(vo.width) * 8;
+    c.kernel_launches += 1;  // the combine sweep is its own kernel
+  }
+}
 
-void run_edge_program(const Graph& g, const EdgeProgram& ep, const VmBindings& b) {
+void check_program(const EdgeProgram& ep) {
   TRIAD_CHECK_GT(ep.phases.size(), 0u, "empty edge program");
-  const ResolvedProgram rp = resolve(ep, b);
-
-  const auto& ptr = ep.dst_major ? g.in_ptr() : g.out_ptr();
-  const auto& adj = ep.dst_major ? g.in_src() : g.out_dst();
-  const auto& eid = ep.dst_major ? g.in_eid() : g.out_eid();
-  const std::int64_t n = g.num_vertices();
-
-  if (ep.mapping == WorkMapping::VertexBalanced) {
-    parallel_for_chunks(0, n, [&](std::int64_t lo_v, std::int64_t hi_v) {
-      WorkerState ws;
-      init_worker(ws, ep);
-      for (std::int64_t v = lo_v; v < hi_v; ++v) {
-        const std::int64_t elo = ptr[v];
-        const std::int64_t ehi = ptr[v + 1];
-        for (std::size_t p = 0; p < ep.phases.size(); ++p) {
-          // Init sequential accumulators fed by this phase.
-          for (std::size_t i = 0; i < ep.vertex_outputs.size(); ++i) {
-            const VertexOutput& vo = ep.vertex_outputs[i];
-            if (vo.phase != static_cast<int>(p)) continue;
-            if (vo.reverse == ep.dst_major) continue;  // atomic, no local acc
-            float* accp = ws.acc.data() + ws.acc_base[i];
-            const float init =
-                static_cast<ReduceFn>(vo.rfn) == ReduceFn::Max ? kNegInf : 0.f;
-            std::fill_n(accp, vo.width, init);
-            std::fill_n(ws.acc_arg.data() + ws.acc_base[i], vo.width, -1);
-            ws.count[i] = 0;
-          }
-          const std::vector<RInstr>& instrs = rp.phases[p];
-          for (std::int64_t i = elo; i < ehi; ++i) {
-            const std::int64_t other = adj[i];
-            const std::int64_t e = eid[i];
-            const std::int64_t src = ep.dst_major ? other : v;
-            const std::int64_t dst = ep.dst_major ? v : other;
-            for (const RInstr& in : instrs) {
-              eval_instr(in, ws, ep, rp, src, dst, e, v);
-            }
-          }
-          // Finalize this phase's sequential reductions for vertex v.
-          for (std::size_t i = 0; i < ep.vertex_outputs.size(); ++i) {
-            const VertexOutput& vo = ep.vertex_outputs[i];
-            if (vo.phase != static_cast<int>(p)) continue;
-            if (vo.reverse == ep.dst_major) continue;
-            float* accp = ws.acc.data() + ws.acc_base[i];
-            const auto rf = static_cast<ReduceFn>(vo.rfn);
-            if (rf == ReduceFn::Mean && ws.count[i] > 0) {
-              const float inv = 1.f / static_cast<float>(ws.count[i]);
-              for (std::int64_t j = 0; j < vo.width; ++j) accp[j] *= inv;
-            }
-            if (rf == ReduceFn::Max && ws.count[i] == 0) {
-              std::fill_n(accp, vo.width, 0.f);  // isolated vertex
-            }
-            std::copy_n(accp, vo.width, rp.vout_data[i] + v * vo.width);
-            if (vo.track_argmax) {
-              std::copy_n(ws.acc_arg.data() + ws.acc_base[i], vo.width,
-                          rp.vout_aux[i] + v * vo.width);
-            }
-          }
-        }
-      }
-    }, /*grain=*/64);
-  } else {
-    // Edge-balanced: single phase, Sum-only reductions via atomics.
-    TRIAD_CHECK_EQ(ep.phases.size(), 1u, "edge-balanced programs are single-phase");
+  if (ep.mapping == WorkMapping::EdgeBalanced) {
+    TRIAD_CHECK_EQ(ep.phases.size(), 1u,
+                   "edge-balanced programs are single-phase");
     for (const VertexOutput& vo : ep.vertex_outputs) {
       TRIAD_CHECK(static_cast<ReduceFn>(vo.rfn) == ReduceFn::Sum,
                   "edge-balanced mapping supports Sum reductions only");
     }
-    const auto& esrc = g.edge_src();
-    const auto& edst = g.edge_dst();
-    parallel_for_chunks(0, g.num_edges(), [&](std::int64_t lo_e, std::int64_t hi_e) {
-      WorkerState ws;
-      init_worker(ws, ep);
-      const std::vector<RInstr>& instrs = rp.phases[0];
-      for (std::int64_t e = lo_e; e < hi_e; ++e) {
-        const std::int64_t src = esrc[e];
-        const std::int64_t dst = edst[e];
-        for (const RInstr& in : instrs) {
-          TRIAD_CHECK(in.op != EPOp::LoadAcc,
-                      "LoadAcc is invalid under edge-balanced mapping");
-          eval_instr(in, ws, ep, rp, src, dst, e, dst);
-        }
-      }
+  }
+}
+
+}  // namespace
+
+void run_edge_program(const Graph& g, const EdgeProgram& ep, const VmBindings& b) {
+  check_program(ep);
+  ResolvedProgram rp = resolve(g, ep, b);
+
+  if (ep.mapping == WorkMapping::VertexBalanced) {
+    parallel_for_chunks(0, g.num_vertices(), [&](std::int64_t lo, std::int64_t hi) {
+      walk_vertex_range(g, ep, rp, lo, hi);
+    }, /*grain=*/64);
+  } else {
+    parallel_for_chunks(0, g.num_edges(), [&](std::int64_t lo, std::int64_t hi) {
+      walk_edge_range(g, ep, rp, lo, hi);
     }, /*grain=*/4096);
   }
+  combine_boundary(g, ep, rp);
 
-  charge_program(g, ep);
+  charge_program(g.num_vertices(), g.num_edges(), ep);
+}
+
+void run_edge_program_sharded(const Graph& g, const Partitioning& part,
+                              const EdgeProgram& ep, const VmBindings& b) {
+  check_program(ep);
+  TRIAD_CHECK_EQ(part.num_vertices(), g.num_vertices(),
+                 "partitioning built for a different graph");
+  ResolvedProgram rp = resolve(g, ep, b);
+
+  const int k = part.num_shards();
+  if (ep.mapping == WorkMapping::VertexBalanced) {
+    // One unit of pool work per shard: the shard is the placement unit, so
+    // there is deliberately no intra-shard work stealing.
+    parallel_for(0, k, [&](std::int64_t s) {
+      const Shard& sh = part.shard(static_cast<int>(s));
+      walk_vertex_range(g, ep, rp, sh.v_lo, sh.v_hi);
+    }, /*grain=*/1);
+  } else {
+    // Edge-balanced programs shard the flat edge list into K even ranges;
+    // vertex ownership is irrelevant to the walk and the combine restores
+    // determinism regardless.
+    const std::int64_t m = g.num_edges();
+    parallel_for(0, k, [&](std::int64_t s) {
+      const EdgeRange r = edge_shard_range(m, k, static_cast<int>(s));
+      walk_edge_range(g, ep, rp, r.lo, r.hi);
+    }, /*grain=*/1);
+  }
+  combine_boundary(g, ep, rp);
+
+  // Per-shard charging: each shard is one modeled kernel over its owned
+  // slice; the shard sums partition the single-shard totals exactly (modulo
+  // per-shard parameter reloads, which are real).
+  for (int s = 0; s < k; ++s) {
+    const Shard& sh = part.shard(s);
+    std::int64_t m_s;
+    if (ep.mapping == WorkMapping::EdgeBalanced) {
+      const EdgeRange r = edge_shard_range(g.num_edges(), k, s);
+      m_s = r.hi - r.lo;
+    } else {
+      m_s = ep.dst_major ? sh.num_in_edges() : sh.num_out_edges();
+    }
+    charge_program(sh.num_vertices(), m_s, ep);
+  }
+  charge_sharded_combine(part, ep);
 }
 
 }  // namespace triad

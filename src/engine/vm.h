@@ -4,14 +4,25 @@
 // walks destination (or source) vertices, evaluating the per-edge register
 // program phase by phase; reductions matching the kernel orientation use
 // sequential per-vertex accumulators (zero atomics), cross-orientation Sum
-// reductions fall back to atomics — exactly the two disciplines of Figure 5.
-// Edge intermediates live in a register file (no DRAM traffic), which is
-// where the fusion IO savings come from; the cost model charges accordingly.
+// reductions stash their per-edge contribution and are finalized by a
+// deterministic boundary-combine sweep over the reverse adjacency (fixed
+// edge order per target vertex — no atomics, bit-identical for any thread or
+// shard count). Edge intermediates live in a register file (no DRAM
+// traffic), which is where the fusion IO savings come from; the cost model
+// charges accordingly.
+//
+// Sharded execution (run_edge_program_sharded) walks each shard's owned
+// vertex range as one unit of work on the thread pool; because shards are
+// contiguous and the combine order is fixed by the graph, sharded output is
+// bit-identical to the single-shard path. Analytic costs are charged per
+// shard (one modeled kernel launch each), and the boundary-combine traffic
+// of cross-shard reductions is charged to PerfCounters::combine_bytes.
 #pragma once
 
 #include <functional>
 
 #include "graph/csr.h"
+#include "graph/partition.h"
 #include "ir/edge_program.h"
 #include "tensor/tensor.h"
 
@@ -23,10 +34,19 @@ struct VmBindings {
   std::function<const IntTensor&(int)> aux;  ///< argmax auxes (MaxBwdMask)
   std::function<Tensor&(int)> out;           ///< program outputs
   std::function<IntTensor&(int)> out_aux;    ///< argmax aux outputs
+  /// Pool the boundary-combine stash (an O(|E| x width) workspace per
+  /// cross-orientation reduction) is accounted against; null = global pool.
+  MemoryPool* pool = nullptr;
 };
 
-/// Executes the program over `g`. Atomic-target outputs must be zero-filled
-/// by the caller beforehand. Charges PerfCounters analytically.
+/// Executes the program over `g` as a single shard (fine-grained chunked
+/// parallelism). Charges PerfCounters analytically.
 void run_edge_program(const Graph& g, const EdgeProgram& ep, const VmBindings& b);
+
+/// Executes the program shard-by-shard: each shard's owned range is one unit
+/// of pool work (shard = unit of placement; no intra-shard work stealing).
+/// Output is bit-identical to run_edge_program for every K.
+void run_edge_program_sharded(const Graph& g, const Partitioning& part,
+                              const EdgeProgram& ep, const VmBindings& b);
 
 }  // namespace triad

@@ -30,6 +30,16 @@ IrGraph PassManager::run(IrGraph ir) {
   return ir;
 }
 
+void PassManager::note(std::string name, double seconds, int nodes) {
+  PassInfo info;
+  info.name = std::move(name);
+  info.seconds = seconds;
+  info.nodes_before = nodes;
+  info.nodes_after = nodes;
+  report_.push_back(std::move(info));
+  ++global_counters().ir_passes;
+}
+
 double PassManager::total_seconds() const {
   double total = 0.0;
   for (const PassInfo& p : report_) total += p.seconds;

@@ -40,6 +40,12 @@ class PassManager {
   /// charges PerfCounters::ir_passes once per pass executed.
   IrGraph run(IrGraph ir);
 
+  /// Records a non-IR compile activity (e.g. graph partitioning, plan
+  /// sharding) in the same per-pass report, so the compile-vs-run breakdown
+  /// stays complete when the pipeline does work that is not an IR rewrite.
+  /// Charges PerfCounters::ir_passes like a pass — it is compile-time work.
+  void note(std::string name, double seconds, int nodes = 0);
+
   /// Per-pass records of the most recent run().
   const std::vector<PassInfo>& report() const { return report_; }
   double total_seconds() const;

@@ -31,6 +31,17 @@ Trainer::Trainer(std::shared_ptr<const Compiled> model, const Graph& graph,
     weights_.push_back(model_->init[i].clone(MemTag::kWeights, pool));
     runner_.bind(model_->params[i], weights_.back());
   }
+  if (model_->partition != nullptr) enable_sharding(model_->partition);
+}
+
+void Trainer::enable_sharding(std::shared_ptr<const Partitioning> part) {
+  partition_ = std::move(part);
+  runner_.set_partitioning(partition_.get());
+}
+
+void Trainer::enable_sharding(int num_shards, PartitionStrategy strategy) {
+  enable_sharding(std::make_shared<const Partitioning>(
+      Partitioning::build(runner_.graph(), num_shards, strategy)));
 }
 
 Trainer::Trainer(Compiled model, const Graph& graph, Tensor features,

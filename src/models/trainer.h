@@ -15,6 +15,7 @@
 #include "baselines/strategy.h"
 #include "engine/plan.h"
 #include "graph/csr.h"
+#include "graph/partition.h"
 #include "models/optim.h"
 #include "support/counters.h"
 #include "tensor/tensor.h"
@@ -49,6 +50,18 @@ class Trainer {
   /// the plain-SGD default (the lr argument is then ignored).
   void set_optimizer(std::unique_ptr<Optimizer> opt);
 
+  /// Shards fused-kernel execution across the partitioning's owned-vertex
+  /// ranges (one pool task per shard, deterministic boundary combine —
+  /// outputs stay bit-identical to unsharded training). Called automatically
+  /// at construction when the Compiled model carries a partition; call with
+  /// nullptr to fall back to unsharded execution. `--shards N` in the bench
+  /// harness lands here.
+  void enable_sharding(std::shared_ptr<const Partitioning> part);
+  /// Convenience: builds a fresh K-way partitioning over the graph.
+  void enable_sharding(int num_shards,
+                       PartitionStrategy strategy = PartitionStrategy::DegreeBalanced);
+  const Partitioning* partitioning() const { return partition_.get(); }
+
   /// Forward only; returns loss (no update).
   StepMetrics forward(const IntTensor& labels);
 
@@ -63,6 +76,7 @@ class Trainer {
  private:
   std::shared_ptr<const Compiled> model_;
   PlanRunner runner_;
+  std::shared_ptr<const Partitioning> partition_;  // null = unsharded
   std::vector<Tensor> weights_;  // persistent parameter tensors
   std::unique_ptr<Optimizer> optimizer_;
 };

@@ -45,6 +45,7 @@ std::string PerfCounters::to_string() const {
          " atomics=" + human_count(atomic_ops) +
          " kernels=" + std::to_string(kernel_launches) +
          " onchip=" + human_bytes(onchip_bytes) +
+         " combine=" + human_bytes(combine_bytes) +
          " passes=" + std::to_string(ir_passes) +
          " plans=" + std::to_string(plan_compiles);
 }

@@ -21,6 +21,7 @@ struct PerfCounters {
   std::uint64_t atomic_ops = 0;        ///< cross-thread atomic reductions
   std::uint64_t kernel_launches = 0;   ///< number of device kernels issued
   std::uint64_t onchip_bytes = 0;      ///< traffic kept in registers/shared mem by fusion
+  std::uint64_t combine_bytes = 0;     ///< boundary-combine traffic of sharded runs
   std::uint64_t ir_passes = 0;         ///< IR passes executed (compile-time work)
   std::uint64_t plan_compiles = 0;     ///< ExecutionPlans built (compile-time work)
 
@@ -37,6 +38,7 @@ struct PerfCounters {
     r.atomic_ops = atomic_ops - o.atomic_ops;
     r.kernel_launches = kernel_launches - o.kernel_launches;
     r.onchip_bytes = onchip_bytes - o.onchip_bytes;
+    r.combine_bytes = combine_bytes - o.combine_bytes;
     r.ir_passes = ir_passes - o.ir_passes;
     r.plan_compiles = plan_compiles - o.plan_compiles;
     return r;
@@ -48,6 +50,7 @@ struct PerfCounters {
     atomic_ops += o.atomic_ops;
     kernel_launches += o.kernel_launches;
     onchip_bytes += o.onchip_bytes;
+    combine_bytes += o.combine_bytes;
     ir_passes += o.ir_passes;
     plan_compiles += o.plan_compiles;
     return *this;

@@ -1,8 +1,33 @@
 #include "support/parallel.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace triad {
+
+namespace {
+
+// Requested size for the not-yet-constructed global pool; 0 = auto.
+unsigned& pool_size_override() {
+  static unsigned n = 0;
+  return n;
+}
+
+bool& pool_constructed() {
+  static bool constructed = false;
+  return constructed;
+}
+
+unsigned decide_pool_size() {
+  if (pool_size_override() > 0) return pool_size_override();
+  if (const char* env = std::getenv("TRIAD_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned num_threads) {
   const unsigned extra = num_threads > 0 ? num_threads - 1 : 0;
@@ -59,8 +84,15 @@ void ThreadPool::worker_loop(unsigned index) {
 }
 
 ThreadPool& global_pool() {
-  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  pool_constructed() = true;
+  static ThreadPool pool(decide_pool_size());
   return pool;
+}
+
+bool set_global_pool_threads(unsigned num_threads) {
+  if (pool_constructed()) return false;
+  pool_size_override() = num_threads;
+  return true;
 }
 
 void parallel_for_chunks(std::int64_t begin, std::int64_t end,

@@ -49,8 +49,15 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-/// Process-wide pool sized to the hardware concurrency.
+/// Process-wide pool sized to the hardware concurrency by default. The size
+/// can be overridden by the TRIAD_THREADS environment variable or by
+/// set_global_pool_threads() *before the first use* of the pool.
 ThreadPool& global_pool();
+
+/// Requests a specific worker count for the global pool (e.g. a bench's
+/// --threads knob). Must be called before the pool's first use; afterwards it
+/// is a no-op and returns false.
+bool set_global_pool_threads(unsigned num_threads);
 
 /// Parallel loop over [begin, end) in contiguous chunks. `fn(i)` is invoked
 /// exactly once per index. Serial when the range is small or the pool has a

@@ -78,6 +78,63 @@ TEST(Graph, EdgeOutOfRangeThrows) {
   EXPECT_THROW(Graph(2, {{-1, 0}}), Error);
 }
 
+TEST(Graph, EdgelessGraph) {
+  // Vertices with no edges at all — the degenerate shape partitioners and
+  // per-vertex kernels must iterate without touching edge arrays.
+  Graph g(5, {});
+  EXPECT_EQ(g.num_vertices(), 5);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.max_in_degree(), 0);
+  for (std::int64_t v = 0; v < 5; ++v) {
+    EXPECT_EQ(g.in_degree(v), 0);
+    EXPECT_EQ(g.out_degree(v), 0);
+  }
+  EXPECT_EQ(g.in_ptr().size(), 6u);
+  EXPECT_EQ(g.in_ptr()[5], 0);
+  EXPECT_TRUE(g.in_src().empty());
+  EXPECT_TRUE(g.edge_src().empty());
+}
+
+TEST(Graph, IsolatedVerticesKeepEmptyRows) {
+  // Vertices 2 and 4 have no incident edges; their CSR/CSC rows must be
+  // empty while surrounding rows stay correct.
+  Graph g(5, {{0, 1}, {1, 3}, {3, 0}});
+  for (std::int64_t v : {2, 4}) {
+    EXPECT_EQ(g.in_degree(v), 0) << v;
+    EXPECT_EQ(g.out_degree(v), 0) << v;
+    EXPECT_EQ(g.in_ptr()[v], g.in_ptr()[v + 1]);
+    EXPECT_EQ(g.out_ptr()[v], g.out_ptr()[v + 1]);
+  }
+  EXPECT_EQ(g.in_degree(0), 1);
+  EXPECT_EQ(g.out_degree(3), 1);
+}
+
+TEST(Graph, SelfLoopsAndParallelEdges) {
+  // Dedup is the caller's business: parallel edges keep distinct ids, and a
+  // self-loop appears in both views of its vertex.
+  Graph g(2, {{0, 1}, {0, 1}, {1, 1}});
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.in_degree(1), 3);
+  EXPECT_EQ(g.out_degree(0), 2);
+  EXPECT_EQ(g.out_degree(1), 1);
+  std::set<int> eids;
+  for (std::int64_t i = g.in_ptr()[1]; i < g.in_ptr()[2]; ++i) {
+    eids.insert(g.in_eid()[i]);
+  }
+  EXPECT_EQ(eids, (std::set<int>{0, 1, 2}));
+}
+
+TEST(Graph, SingleVertexGraph) {
+  Graph loop(1, {{0, 0}});
+  EXPECT_EQ(loop.num_vertices(), 1);
+  EXPECT_EQ(loop.in_degree(0), 1);
+  EXPECT_EQ(loop.out_degree(0), 1);
+  Graph bare(1, {});
+  EXPECT_EQ(bare.max_in_degree(), 0);
+}
+
+TEST(Graph, ZeroVerticesRejected) { EXPECT_THROW(Graph(0, {}), Error); }
+
 TEST(Generators, ErdosRenyiShape) {
   Rng rng(1);
   Graph g = gen::erdos_renyi(100, 1000, rng);

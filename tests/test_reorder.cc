@@ -88,6 +88,51 @@ TEST(Reorder, PermuteRowsRoundTrip) {
   }
 }
 
+TEST(Reorder, EdgelessGraphOrderings) {
+  // No edges: degree ordering is a stable identity-ish ranking, BFS visits
+  // every singleton component, and permuting is a no-op on edges.
+  Graph g(6, {});
+  Permutation d = degree_ordering(g);
+  Permutation b = bfs_clustering(g);
+  EXPECT_TRUE(is_permutation(d));
+  EXPECT_TRUE(is_permutation(b));
+  // All degrees tie, so stable sort keeps the identity.
+  for (int v = 0; v < 6; ++v) EXPECT_EQ(d[v], v);
+  Graph h = permute_graph(g, b);
+  EXPECT_EQ(h.num_edges(), 0);
+  EXPECT_EQ(h.num_vertices(), 6);
+}
+
+TEST(Reorder, IsolatedVerticesGetIdsAfterTheirDiscovery) {
+  // 0-1 connected, 2 isolated, 3-4 connected: BFS clustering must assign
+  // every isolated vertex its own cluster without skipping ids.
+  Graph g(5, {{0, 1}, {3, 4}});
+  Permutation p = bfs_clustering(g);
+  ASSERT_TRUE(is_permutation(p));
+  // Cluster starts follow root order 0, 2, 3; members stay contiguous.
+  EXPECT_LT(std::max(p[0], p[1]), p[2]);
+  EXPECT_LT(p[2], std::min(p[3], p[4]));
+}
+
+TEST(Reorder, SingleVertexGraphOrderings) {
+  Graph g(1, {{0, 0}});  // one vertex, one self-loop
+  Permutation d = degree_ordering(g);
+  Permutation b = bfs_clustering(g);
+  EXPECT_EQ(d, Permutation{0});
+  EXPECT_EQ(b, Permutation{0});
+  Graph h = permute_graph(g, d);
+  EXPECT_EQ(h.num_edges(), 1);
+  EXPECT_EQ(h.edge_src()[0], 0);
+}
+
+TEST(Reorder, PermuteRowsOnEmptyTensor) {
+  Tensor t(0, 3, MemTag::kWorkspace);
+  Permutation p;
+  Tensor out = permute_rows(t, p);
+  EXPECT_EQ(out.rows(), 0);
+  EXPECT_EQ(out.cols(), 3);
+}
+
 TEST(Reorder, IsPermutationRejectsBadVectors) {
   EXPECT_FALSE(is_permutation({0, 0, 1}));
   EXPECT_FALSE(is_permutation({0, 2}));

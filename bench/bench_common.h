@@ -33,6 +33,16 @@
 
 namespace triad::bench {
 
+/// Matches a "--flag=value" argv entry; returns the value part or nullptr.
+/// Shared by Options::parse and per-bench extra-flag parsers.
+inline const char* flag_value(const char* arg, const char* flag) {
+  const std::size_t len = std::strlen(flag);
+  if (std::strncmp(arg, flag, len) == 0 && arg[len] == '=') {
+    return arg + len + 1;
+  }
+  return nullptr;
+}
+
 struct Options {
   double scale = 1.0;        ///< graph scale for citation datasets
   double reddit_scale = 0.01;///< Reddit is huge; default heavily scaled
@@ -48,13 +58,7 @@ struct Options {
   static Options parse(int argc, char** argv) {
     Options o;
     for (int i = 1; i < argc; ++i) {
-      auto val = [&](const char* flag) -> const char* {
-        const std::size_t len = std::strlen(flag);
-        if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
-          return argv[i] + len + 1;
-        }
-        return nullptr;
-      };
+      auto val = [&](const char* flag) { return flag_value(argv[i], flag); };
       if (const char* v = val("--scale")) o.scale = std::atof(v);
       if (const char* v = val("--reddit-scale")) o.reddit_scale = std::atof(v);
       if (const char* v = val("--feat-scale")) o.feat_scale = std::atof(v);
@@ -173,17 +177,22 @@ class JsonReport {
   JsonReport(std::string name, const Options& opt)
       : name_(std::move(name)), opt_(opt) {}
 
-  /// Prints the table row AND records it for the JSON dump.
+  /// Prints the table row AND records it for the JSON dump. `extra` is an
+  /// optional raw JSON fragment (`"key": value, ...` without braces) merged
+  /// into the row object — how bench_serving reports throughput and latency
+  /// percentiles alongside the standard fields.
   void row(const std::string& workload, const std::string& strategy,
-           const Measurement& m, const Measurement& base) {
+           const Measurement& m, const Measurement& base,
+           const std::string& extra = "") {
     print_row(workload, strategy, m, base);
-    add(workload, strategy, m, base);
+    add(workload, strategy, m, base, extra);
   }
 
   /// Records without printing (for benches with custom table formats).
   void add(const std::string& workload, const std::string& strategy,
-           const Measurement& m, const Measurement& base) {
-    rows_.push_back({workload, strategy, m, base.seconds, base.peak_bytes});
+           const Measurement& m, const Measurement& base,
+           const std::string& extra = "") {
+    rows_.push_back({workload, strategy, m, base.seconds, base.peak_bytes, extra});
   }
 
   void write() const {
@@ -219,7 +228,7 @@ class JsonReport {
           "\"kernel_launches\": %llu, \"atomic_ops\": %llu, "
           "\"flops\": %llu, \"combine_bytes\": %llu, "
           "\"shards\": %d, \"shard_peak_bytes\": %zu, "
-          "\"speedup\": %.4f, \"mem_ratio\": %.4f}%s\n",
+          "\"speedup\": %.4f, \"mem_ratio\": %.4f%s%s}%s\n",
           r.workload.c_str(), r.strategy.c_str(), r.m.seconds,
           r.m.compile_seconds,
           static_cast<unsigned long long>(r.m.io_bytes), r.m.peak_bytes,
@@ -227,8 +236,9 @@ class JsonReport {
           static_cast<unsigned long long>(r.m.counters.atomic_ops),
           static_cast<unsigned long long>(r.m.counters.flops),
           static_cast<unsigned long long>(r.m.counters.combine_bytes),
-          r.m.shards, r.m.shard_peak_bytes, speedup,
-          mem_ratio, i + 1 < rows_.size() ? "," : "");
+          r.m.shards, r.m.shard_peak_bytes, speedup, mem_ratio,
+          r.extra.empty() ? "" : ", ", r.extra.c_str(),
+          i + 1 < rows_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
@@ -241,6 +251,7 @@ class JsonReport {
     Measurement m;
     double base_seconds = 0;
     std::size_t base_peak = 0;
+    std::string extra;  ///< raw JSON fragment merged into the row object
   };
   std::string name_;
   Options opt_;

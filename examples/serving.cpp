@@ -1,0 +1,97 @@
+// Example: batched inference serving — the compile-once/serve-many stack as
+// an application.
+//
+// An InferenceServer wraps the whole pipeline: requests (here, k-NN point
+// clouds) enter a bounded queue, the adaptive batcher packs them into
+// block-diagonal batch graphs, each distinct batch shape is compiled exactly
+// once into an immutable ExecutionPlan via the process-wide PlanCache, and
+// worker threads execute plans concurrently. Outputs are bit-identical to
+// running every request alone — batching is a latency/throughput policy,
+// not an approximation.
+//
+//   ./serving [requests] [max_batch]
+//   ./serving 32 8
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "baselines/plan_cache.h"
+#include "graph/knn.h"
+#include "models/models.h"
+#include "serve/server.h"
+
+using namespace triad;
+
+namespace {
+
+constexpr std::int64_t kPoints = 96;
+constexpr std::int64_t kInDim = 8;
+
+ModelGraph make_model() {
+  GcnConfig cfg;
+  cfg.in_dim = kInDim;
+  cfg.hidden = {16};
+  cfg.num_classes = 8;
+  Rng rng(7);  // deterministic weights; a real deployment bakes trained ones
+  return build_gcn(cfg, rng);
+}
+
+serve::InferenceRequest make_request(unsigned seed) {
+  Rng rng(seed);
+  const Tensor cloud = synthetic_point_cloud(kPoints, 3, seed % 8, rng);
+  serve::InferenceRequest req;
+  req.graph = std::make_shared<const Graph>(kPoints, knn_edges(cloud, 4));
+  req.features = Tensor(kPoints, kInDim, MemTag::kInput);
+  for (std::int64_t i = 0; i < req.features.numel(); ++i) {
+    req.features.data()[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return req;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int requests = argc > 1 ? std::atoi(argv[1]) : 32;
+  const int max_batch = argc > 2 ? std::atoi(argv[2]) : 8;
+
+  serve::ServerConfig cfg;
+  cfg.workers = 2;
+  cfg.batch.max_batch = max_batch;
+  cfg.batch.max_wait_us = 300;
+  serve::InferenceServer server("example/gcn-h16", make_model, cfg);
+  std::printf("serving %d point-cloud requests (max_batch=%d, %d workers)\n",
+              requests, max_batch, cfg.workers);
+
+  std::vector<std::future<serve::InferenceResult>> futures;
+  for (int i = 0; i < requests; ++i) {
+    futures.push_back(server.submit(make_request(100 + static_cast<unsigned>(i))));
+  }
+  for (int i = 0; i < requests; ++i) {
+    const serve::InferenceResult res = futures[static_cast<std::size_t>(i)].get();
+    if (i < 5 || i == requests - 1) {
+      std::printf("  request %2d: %lld logit rows, %.3f ms latency, rode a "
+                  "batch of %d\n",
+                  i, static_cast<long long>(res.output.rows()),
+                  res.latency_seconds * 1e3, res.batch_size);
+    } else if (i == 5) {
+      std::printf("  ...\n");
+    }
+  }
+  server.shutdown();
+
+  const serve::ServerStats stats = server.stats();
+  std::printf(
+      "\nserved %llu requests in %llu batches (mean batch %.2f): "
+      "%.0f req/s, p50 %.3f ms, p95 %.3f ms, p99 %.3f ms\n",
+      static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.batches), stats.mean_batch_size(),
+      stats.throughput_rps(), stats.latency.p50 * 1e3, stats.latency.p95 * 1e3,
+      stats.latency.p99 * 1e3);
+  std::printf("plan cache: %zu entries, %zu hits, %zu misses — one compile "
+              "per distinct batch shape, ever\n",
+              PlanCache::global().size(), PlanCache::global().hits(),
+              PlanCache::global().misses());
+  return 0;
+}

@@ -1,10 +1,11 @@
-// Device latency/capacity model for the cross-GPU experiment (Figure 11).
-//
-// The paper's Fig. 11 claim is: with all three optimizations, the training
-// task fits an 8 GB RTX 2080 (it OOMs otherwise) and runs at latency
-// comparable to DGL on a 24 GB RTX 3090. Capacity is enforced for real by
-// MemoryPool::set_capacity; latency across devices is projected with an
-// aggregate roofline over the counters the engine collects.
+/// \file
+/// Device latency/capacity model for the cross-GPU experiment (Figure 11).
+///
+/// The paper's Fig. 11 claim is: with all three optimizations, the training
+/// task fits an 8 GB RTX 2080 (it OOMs otherwise) and runs at latency
+/// comparable to DGL on a 24 GB RTX 3090. Capacity is enforced for real by
+/// MemoryPool::set_capacity; latency across devices is projected with an
+/// aggregate roofline over the counters the engine collects.
 #pragma once
 
 #include <algorithm>

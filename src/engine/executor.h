@@ -1,13 +1,14 @@
-// Executor: compatibility shim over the compile-time/run-time split.
-//
-// Historically the Executor did both jobs — analysing the IR (consumer
-// counts, liveness, memory tags) and running it. That analysis now lives in
-// an immutable ExecutionPlan (see engine/plan.h) compiled once, and the hot
-// loop is a PlanRunner. Executor remains as the one-shot convenience: its
-// constructor compiles a private plan for (graph, ir) and every other method
-// forwards to the runner. Code that wants to reuse one compiled plan across
-// epochs or concurrent requests should hold an ExecutionPlan + PlanRunner
-// directly.
+/// \file
+/// Executor: compatibility shim over the compile-time/run-time split.
+///
+/// Historically the Executor did both jobs — analysing the IR (consumer
+/// counts, liveness, memory tags) and running it. That analysis now lives in
+/// an immutable ExecutionPlan (see engine/plan.h) compiled once, and the hot
+/// loop is a PlanRunner. Executor remains as the one-shot convenience: its
+/// constructor compiles a private plan for (graph, ir) and every other method
+/// forwards to the runner. Code that wants to reuse one compiled plan across
+/// epochs or concurrent requests should hold an ExecutionPlan + PlanRunner
+/// directly.
 #pragma once
 
 #include "engine/plan.h"

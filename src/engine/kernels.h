@@ -1,18 +1,19 @@
-// Unfused operator kernels.
-//
-// Each kernel executes the real arithmetic on the CPU and charges the global
-// PerfCounters with the DRAM traffic a GPU kernel of the conventional mapping
-// would incur (edge-balanced for edge-centric operators, vertex-balanced for
-// vertex-centric ones — the status quo the paper's Section 5 starts from).
-// The traffic model is the paper's own: one global-memory access per tensor
-// element touched per edge/vertex, plus 4 B of adjacency index per edge.
-// Every graph kernel is implemented as a serial core over a shard view — a
-// contiguous vertex range (vertex-centric kernels) or edge range
-// (edge-centric kernels). The whole-graph entry points below drive the core
-// with fine-grained chunked parallelism; the *_sharded variants drive it
-// with one pool task per Partitioning shard and charge costs per shard.
-// Rows are independent in every shardable kernel, so both drivers produce
-// bit-identical output.
+/// \file
+/// Unfused operator kernels.
+///
+/// Each kernel executes the real arithmetic on the CPU and charges the global
+/// PerfCounters with the DRAM traffic a GPU kernel of the conventional mapping
+/// would incur (edge-balanced for edge-centric operators, vertex-balanced for
+/// vertex-centric ones — the status quo the paper's Section 5 starts from).
+/// The traffic model is the paper's own: one global-memory access per tensor
+/// element touched per edge/vertex, plus 4 B of adjacency index per edge.
+/// Every graph kernel is implemented as a serial core over a shard view — a
+/// contiguous vertex range (vertex-centric kernels) or edge range
+/// (edge-centric kernels). The whole-graph entry points below drive the core
+/// with fine-grained chunked parallelism; the *_sharded variants drive it
+/// with one pool task per Partitioning shard and charge costs per shard.
+/// Rows are independent in every shardable kernel, so both drivers produce
+/// bit-identical output.
 #pragma once
 
 #include <cstdint>

@@ -1,17 +1,18 @@
-// ParallelPlanRunner: shard-parallel execution of one ExecutionPlan.
-//
-// Where a PlanRunner executes fused kernels with fine-grained chunked
-// parallelism, a ParallelPlanRunner executes them shard-by-shard: the
-// Partitioning's owned-vertex ranges are the units of work handed to the
-// thread pool (support/parallel.h), one modeled kernel launch each, with
-// cross-shard reductions finalized by the VM's deterministic boundary
-// combine. Output is bit-identical to unsharded execution for every K (see
-// tests/test_sharded.cc), so sharding is purely a placement/performance
-// decision: K=1 runs one serial shard, K=4 on a 4-core pool runs four.
-//
-// The runner owns its Partitioning (shared, so a Trainer or a fleet of
-// runners can reuse one split) and composes a PlanRunner rather than
-// subclassing it — everything except fused-kernel dispatch is identical.
+/// \file
+/// ParallelPlanRunner: shard-parallel execution of one ExecutionPlan.
+///
+/// Where a PlanRunner executes fused kernels with fine-grained chunked
+/// parallelism, a ParallelPlanRunner executes them shard-by-shard: the
+/// Partitioning's owned-vertex ranges are the units of work handed to the
+/// thread pool (support/parallel.h), one modeled kernel launch each, with
+/// cross-shard reductions finalized by the VM's deterministic boundary
+/// combine. Output is bit-identical to unsharded execution for every K (see
+/// tests/test_sharded.cc), so sharding is purely a placement/performance
+/// decision: K=1 runs one serial shard, K=4 on a 4-core pool runs four.
+///
+/// The runner owns its Partitioning (shared, so a Trainer or a fleet of
+/// runners can reuse one split) and composes a PlanRunner rather than
+/// subclassing it — everything except fused-kernel dispatch is identical.
 #pragma once
 
 #include <memory>
@@ -43,6 +44,7 @@ class ParallelPlanRunner {
   void run_backward() { runner_.run_backward(); }
   const Tensor& result(int node) const { return runner_.result(node); }
   Tensor& result_mut(int node) { return runner_.result_mut(node); }
+  Tensor take_result(int node) { return runner_.take_result(node); }
   bool has_result(int node) const { return runner_.has_result(node); }
   const IntTensor& aux_of(int node) const { return runner_.aux_of(node); }
   const Graph& graph() const { return runner_.graph(); }

@@ -284,6 +284,13 @@ Tensor& PlanRunner::result_mut(int node) {
   return slots_[node];
 }
 
+Tensor PlanRunner::take_result(int node) {
+  TRIAD_CHECK(slots_[node].defined(), "node %" << node << " has no live tensor");
+  Tensor t = std::move(slots_[node]);
+  slots_[node].reset();
+  return t;
+}
+
 const IntTensor& PlanRunner::aux_of(int node) const {
   TRIAD_CHECK(aux_[node].defined(), "node %" << node << " has no aux tensor");
   return aux_[node];

@@ -1,19 +1,20 @@
-// ExecutionPlan + PlanRunner: the compile-time / run-time split.
-//
-// An ExecutionPlan is the immutable compile artifact of the engine: it owns
-// the final (post-pass) IrGraph and precomputes everything the hot loop used
-// to derive on the fly — the topological schedule and its forward/backward
-// boundary, per-node row counts resolved against the graph dimensions,
-// memory-tag classification, argmax-aux requirements, static slot free-lists
-// (which tensors die after which step), and an analytic peak-memory estimate.
-// Compiling a plan charges PerfCounters::plan_compiles once; executing it
-// charges nothing compile-shaped, so one plan can be benchmarked, cached, and
-// shared by N training epochs or M concurrent inference requests.
-//
-// A PlanRunner is the thin per-request execution state (tensor slots, bound
-// inputs, a schedule cursor) over a shared `const ExecutionPlan&`. Multiple
-// runners may execute the same plan concurrently: the plan is never written
-// after compile() returns, and each runner owns its slots and memory pool.
+/// \file
+/// ExecutionPlan + PlanRunner: the compile-time / run-time split.
+///
+/// An ExecutionPlan is the immutable compile artifact of the engine: it owns
+/// the final (post-pass) IrGraph and precomputes everything the hot loop used
+/// to derive on the fly — the topological schedule and its forward/backward
+/// boundary, per-node row counts resolved against the graph dimensions,
+/// memory-tag classification, argmax-aux requirements, static slot free-lists
+/// (which tensors die after which step), and an analytic peak-memory estimate.
+/// Compiling a plan charges PerfCounters::plan_compiles once; executing it
+/// charges nothing compile-shaped, so one plan can be benchmarked, cached, and
+/// shared by N training epochs or M concurrent inference requests.
+///
+/// A PlanRunner is the thin per-request execution state (tensor slots, bound
+/// inputs, a schedule cursor) over a shared `const ExecutionPlan&`. Multiple
+/// runners may execute the same plan concurrently: the plan is never written
+/// after compile() returns, and each runner owns its slots and memory pool.
 #pragma once
 
 #include <cstdint>
@@ -152,6 +153,10 @@ class PlanRunner {
   /// outputs after run(), or any node before its plan-scheduled free point.
   const Tensor& result(int node) const;
   Tensor& result_mut(int node);
+  /// Moves `node`'s tensor out of the runner (the slot becomes undefined
+  /// until the next run). Serving uses this to hand a batch output to
+  /// de-collation without pinning every slot of the finished run.
+  Tensor take_result(int node);
   bool has_result(int node) const { return slots_[node].defined(); }
   const IntTensor& aux_of(int node) const;
 

@@ -1,22 +1,23 @@
-// The EdgeProgram interpreter — execution of fused graph kernels (Section 5).
-//
-// One invocation = one device kernel. Under vertex-balanced mapping the VM
-// walks destination (or source) vertices, evaluating the per-edge register
-// program phase by phase; reductions matching the kernel orientation use
-// sequential per-vertex accumulators (zero atomics), cross-orientation Sum
-// reductions stash their per-edge contribution and are finalized by a
-// deterministic boundary-combine sweep over the reverse adjacency (fixed
-// edge order per target vertex — no atomics, bit-identical for any thread or
-// shard count). Edge intermediates live in a register file (no DRAM
-// traffic), which is where the fusion IO savings come from; the cost model
-// charges accordingly.
-//
-// Sharded execution (run_edge_program_sharded) walks each shard's owned
-// vertex range as one unit of work on the thread pool; because shards are
-// contiguous and the combine order is fixed by the graph, sharded output is
-// bit-identical to the single-shard path. Analytic costs are charged per
-// shard (one modeled kernel launch each), and the boundary-combine traffic
-// of cross-shard reductions is charged to PerfCounters::combine_bytes.
+/// \file
+/// The EdgeProgram interpreter — execution of fused graph kernels (Section 5).
+///
+/// One invocation = one device kernel. Under vertex-balanced mapping the VM
+/// walks destination (or source) vertices, evaluating the per-edge register
+/// program phase by phase; reductions matching the kernel orientation use
+/// sequential per-vertex accumulators (zero atomics), cross-orientation Sum
+/// reductions stash their per-edge contribution and are finalized by a
+/// deterministic boundary-combine sweep over the reverse adjacency (fixed
+/// edge order per target vertex — no atomics, bit-identical for any thread or
+/// shard count). Edge intermediates live in a register file (no DRAM
+/// traffic), which is where the fusion IO savings come from; the cost model
+/// charges accordingly.
+///
+/// Sharded execution (run_edge_program_sharded) walks each shard's owned
+/// vertex range as one unit of work on the thread pool; because shards are
+/// contiguous and the combine order is fixed by the graph, sharded output is
+/// bit-identical to the single-shard path. Analytic costs are charged per
+/// shard (one modeled kernel launch each), and the boundary-combine traffic
+/// of cross-shard reductions is charged to PerfCounters::combine_bytes.
 #pragma once
 
 #include <functional>

@@ -1,10 +1,11 @@
-// Graph topology: COO edge list and the CSR/CSC indexes the engine iterates.
-//
-// Edge identity matters: edge-space feature tensors are indexed by the edge id
-// assigned at construction, and both the destination-major (CSR, incoming
-// edges of v) and source-major (CSC, outgoing edges of u) views carry the
-// original edge id so forward vertex-balanced kernels and backward
-// reverse-orientation reductions address the same rows.
+/// \file
+/// Graph topology: COO edge list and the CSR/CSC indexes the engine iterates.
+///
+/// Edge identity matters: edge-space feature tensors are indexed by the edge id
+/// assigned at construction, and both the destination-major (CSR, incoming
+/// edges of v) and source-major (CSC, outgoing edges of u) views carry the
+/// original edge id so forward vertex-balanced kernels and backward
+/// reverse-orientation reductions address the same rows.
 #pragma once
 
 #include <cstdint>

@@ -1,9 +1,10 @@
-// Dataset registry: the paper's evaluation graphs, synthesized to spec.
-//
-// Published statistics (|V|, |E|, input feature width, classes) are kept; the
-// Reddit graph additionally accepts a scale factor because 115 M edges do not
-// fit a single-core CPU run at full fidelity (DESIGN.md §2 records this
-// substitution; all reported metrics are ratios, which scaling preserves).
+/// \file
+/// Dataset registry: the paper's evaluation graphs, synthesized to spec.
+///
+/// Published statistics (|V|, |E|, input feature width, classes) are kept; the
+/// Reddit graph additionally accepts a scale factor because 115 M edges do not
+/// fit a single-core CPU run at full fidelity (DESIGN.md §2 records this
+/// substitution; all reported metrics are ratios, which scaling preserves).
 #pragma once
 
 #include <cstdint>

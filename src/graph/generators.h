@@ -1,10 +1,11 @@
-// Synthetic graph generators.
-//
-// The paper evaluates on Cora/Citeseer/Pubmed (small, near-uniform citation
-// graphs), Reddit (large, heavily skewed power-law) and ModelNet40 k-NN
-// graphs. These generators produce graphs with the matching |V|, |E| and
-// degree-shape so the computation/IO/memory ratios the paper reports are
-// exercised on the same regime (see DESIGN.md §2 for the substitution note).
+/// \file
+/// Synthetic graph generators.
+///
+/// The paper evaluates on Cora/Citeseer/Pubmed (small, near-uniform citation
+/// graphs), Reddit (large, heavily skewed power-law) and ModelNet40 k-NN
+/// graphs. These generators produce graphs with the matching |V|, |E| and
+/// degree-shape so the computation/IO/memory ratios the paper reports are
+/// exercised on the same regime (see DESIGN.md §2 for the substitution note).
 #pragma once
 
 #include <cstdint>

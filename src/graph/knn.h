@@ -1,8 +1,9 @@
-// Exact k-nearest-neighbour graph construction for point clouds.
-//
-// EdgeConv (DGCNN) represents a point cloud as a k-NN graph: each point v
-// gets k incoming edges from its k nearest neighbours u (edge u -> v), so the
-// Gather at v reduces over its neighbourhood — the orientation DGL uses.
+/// \file
+/// Exact k-nearest-neighbour graph construction for point clouds.
+///
+/// EdgeConv (DGCNN) represents a point cloud as a k-NN graph: each point v
+/// gets k incoming edges from its k nearest neighbours u (edge u -> v), so the
+/// Gather at v reduces over its neighbourhood — the orientation DGL uses.
 #pragma once
 
 #include <cstdint>

@@ -1,15 +1,16 @@
-// Graph partitioning: the placement artifact of the sharded runtime.
-//
-// A Partitioning splits a Graph into K shards of contiguous owned-vertex
-// ranges. Contiguity is load-bearing: it keeps each shard's local edge lists
-// a contiguous slice of the global CSR/CSC (zero copy), makes vertex
-// ownership a binary search, and — because shard s covers exactly the
-// vertices a serial sweep visits between shard s-1 and s+1 — guarantees that
-// per-vertex sequential reductions are bit-identical for every K. Cross-shard
-// edges are tracked per shard as a halo vertex set; reductions that target
-// halo vertices go through the VM's deterministic boundary-combine step
-// rather than global atomics (see engine/vm.h), and their traffic is charged
-// to PerfCounters::combine_bytes so device projections stay honest for K > 1.
+/// \file
+/// Graph partitioning: the placement artifact of the sharded runtime.
+///
+/// A Partitioning splits a Graph into K shards of contiguous owned-vertex
+/// ranges. Contiguity is load-bearing: it keeps each shard's local edge lists
+/// a contiguous slice of the global CSR/CSC (zero copy), makes vertex
+/// ownership a binary search, and — because shard s covers exactly the
+/// vertices a serial sweep visits between shard s-1 and s+1 — guarantees that
+/// per-vertex sequential reductions are bit-identical for every K. Cross-shard
+/// edges are tracked per shard as a halo vertex set; reductions that target
+/// halo vertices go through the VM's deterministic boundary-combine step
+/// rather than global atomics (see engine/vm.h), and their traffic is charged
+/// to PerfCounters::combine_bytes so device projections stay honest for K > 1.
 #pragma once
 
 #include <cstdint>

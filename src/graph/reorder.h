@@ -1,9 +1,10 @@
-// Graph reordering for locality — the "GNN runtime optimization" family the
-// paper positions itself against (Section 8: GNNAdvisor uses Rabbit
-// Reordering + neighbor grouping). Provided both for completeness of the
-// substrate and for the mapping/locality ablation benchmark: reordering is
-// orthogonal to the paper's three computational-graph techniques and can be
-// stacked with them.
+/// \file
+/// Graph reordering for locality — the "GNN runtime optimization" family the
+/// paper positions itself against (Section 8: GNNAdvisor uses Rabbit
+/// Reordering + neighbor grouping). Provided both for completeness of the
+/// substrate and for the mapping/locality ablation benchmark: reordering is
+/// orthogonal to the paper's three computational-graph techniques and can be
+/// stacked with them.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,76 @@
+/// \file
+/// Adaptive batching policy over the bounded request queue.
+///
+/// The serving trade-off: larger batches amortize per-run overhead and raise
+/// throughput, but waiting for stragglers adds latency. The batcher takes
+/// both knobs explicitly — it blocks for the *first* request (an idle server
+/// sleeps), then collects up to max_batch-1 more for at most max_wait_us
+/// microseconds. Under load the wait never triggers (the queue is non-empty
+/// and batches fill instantly); at low traffic a lone request leaves after
+/// max_wait_us with whatever company it found.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "support/queue.h"
+
+namespace triad::serve {
+
+/// Batch-formation knobs; queue_capacity bounds admission (a full queue
+/// rejects try_enqueue — back-pressure instead of unbounded growth).
+struct BatchPolicy {
+  int max_batch = 8;
+  std::int64_t max_wait_us = 200;
+  std::size_t queue_capacity = 1024;
+};
+
+/// Bounded queue + batch collection. T is the pending-request payload (the
+/// server wraps a request with its promise). All methods are thread-safe;
+/// multiple worker loops may call next_batch() concurrently.
+template <typename T>
+class AdaptiveBatcher {
+ public:
+  explicit AdaptiveBatcher(BatchPolicy policy)
+      : policy_(policy), queue_(policy.queue_capacity) {}
+
+  /// Blocking enqueue; false once closed.
+  bool enqueue(T item) { return queue_.push(std::move(item)); }
+  /// Non-blocking enqueue; false when the queue is full or closed.
+  bool try_enqueue(T item) { return queue_.try_push(std::move(item)); }
+
+  /// Collects the next batch: blocks until at least one item arrives, then
+  /// waits up to max_wait_us for up to max_batch total. An empty vector
+  /// means the batcher is closed and fully drained — the worker-loop exit
+  /// signal. Items already queued are always delivered, even after close().
+  std::vector<T> next_batch() {
+    std::vector<T> batch;
+    auto first = queue_.pop();
+    if (!first.has_value()) return batch;
+    batch.push_back(std::move(*first));
+    if (policy_.max_batch <= 1) return batch;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(policy_.max_wait_us);
+    while (static_cast<int>(batch.size()) < policy_.max_batch) {
+      auto item = queue_.pop_until(deadline);
+      if (!item.has_value()) break;  // timed out, or closed and drained
+      batch.push_back(std::move(*item));
+    }
+    return batch;
+  }
+
+  void close() { queue_.close(); }
+  bool closed() const { return queue_.closed(); }
+
+  /// Requests currently waiting (not yet collected into a batch).
+  std::size_t depth() const { return queue_.size(); }
+  const BatchPolicy& policy() const { return policy_; }
+
+ private:
+  BatchPolicy policy_;
+  BoundedQueue<T> queue_;
+};
+
+}  // namespace triad::serve

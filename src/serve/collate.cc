@@ -1,0 +1,104 @@
+#include "serve/collate.h"
+
+#include <cstring>
+
+#include "support/macros.h"
+
+namespace triad::serve {
+
+CollatedBatch collate(const std::vector<const InferenceRequest*>& requests,
+                      MemoryPool* pool) {
+  CollatedBatch batch;
+  if (requests.empty()) return batch;
+
+  // First sweep: validate and total up the batch dimensions.
+  std::int64_t total_v = 0;
+  std::int64_t total_e = 0;
+  std::int64_t feat_cols = -1;
+  std::int64_t pseudo_cols = -1;
+  bool any_pseudo = false;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const InferenceRequest* req = requests[i];
+    TRIAD_CHECK(req != nullptr && req->graph != nullptr,
+                "request " << i << " has no graph");
+    TRIAD_CHECK(req->features.defined(), "request " << i << " has no features");
+    TRIAD_CHECK_EQ(req->features.rows(), req->graph->num_vertices(),
+                   "request " << i << " feature rows");
+    if (feat_cols < 0) feat_cols = req->features.cols();
+    TRIAD_CHECK_EQ(req->features.cols(), feat_cols,
+                   "request " << i << " feature width");
+    if (req->pseudo.defined()) {
+      any_pseudo = true;
+      TRIAD_CHECK_EQ(req->pseudo.rows(), req->graph->num_edges(),
+                     "request " << i << " pseudo rows");
+      if (pseudo_cols < 0) pseudo_cols = req->pseudo.cols();
+      TRIAD_CHECK_EQ(req->pseudo.cols(), pseudo_cols,
+                     "request " << i << " pseudo width");
+    }
+    total_v += req->graph->num_vertices();
+    total_e += req->graph->num_edges();
+  }
+  if (any_pseudo) {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      TRIAD_CHECK(requests[i]->pseudo.defined(),
+                  "request " << i << " lacks the pseudo tensor others carry");
+    }
+  }
+
+  // Second sweep: offset-shift the edge lists and row-concatenate inputs.
+  // Edges are appended in request order, so batch edge id = request edge id
+  // + the request's e_lo, and the stable CSR build preserves each vertex's
+  // incident order — the bit-identity invariant documented in the header.
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(total_e));
+  batch.features = Tensor(total_v, feat_cols, MemTag::kInput, pool);
+  if (any_pseudo) {
+    batch.pseudo = Tensor(total_e, pseudo_cols, MemTag::kInput, pool);
+  }
+  batch.ranges.reserve(requests.size());
+  std::int64_t v_off = 0;
+  std::int64_t e_off = 0;
+  for (const InferenceRequest* req : requests) {
+    const Graph& g = *req->graph;
+    for (std::int64_t e = 0; e < g.num_edges(); ++e) {
+      edges.push_back({static_cast<std::int32_t>(g.edge_src()[e] + v_off),
+                       static_cast<std::int32_t>(g.edge_dst()[e] + v_off)});
+    }
+    std::memcpy(batch.features.row(v_off), req->features.data(),
+                static_cast<std::size_t>(req->features.numel()) * sizeof(float));
+    if (any_pseudo && g.num_edges() > 0) {
+      std::memcpy(batch.pseudo.row(e_off), req->pseudo.data(),
+                  static_cast<std::size_t>(req->pseudo.numel()) * sizeof(float));
+    }
+    batch.ranges.push_back({v_off, v_off + g.num_vertices(), e_off,
+                            e_off + g.num_edges()});
+    v_off += g.num_vertices();
+    e_off += g.num_edges();
+  }
+  batch.graph = std::make_shared<const Graph>(total_v, std::move(edges));
+  return batch;
+}
+
+CollatedBatch collate(const std::vector<InferenceRequest>& requests,
+                      MemoryPool* pool) {
+  std::vector<const InferenceRequest*> ptrs;
+  ptrs.reserve(requests.size());
+  for (const InferenceRequest& r : requests) ptrs.push_back(&r);
+  return collate(ptrs, pool);
+}
+
+Tensor decollate(const Tensor& batch_rows, const RequestRange& r, MemTag tag,
+                 MemoryPool* pool) {
+  TRIAD_CHECK(batch_rows.defined(), "de-collating an undefined tensor");
+  TRIAD_CHECK(r.v_lo >= 0 && r.v_hi >= r.v_lo && r.v_hi <= batch_rows.rows(),
+              "range [" << r.v_lo << "," << r.v_hi << ") out of "
+                        << batch_rows.rows() << " batch rows");
+  Tensor out(r.num_vertices(), batch_rows.cols(), tag, pool);
+  if (out.numel() > 0) {
+    std::memcpy(out.data(), batch_rows.row(r.v_lo),
+                static_cast<std::size_t>(out.numel()) * sizeof(float));
+  }
+  return out;
+}
+
+}  // namespace triad::serve

@@ -1,0 +1,79 @@
+/// \file
+/// Graph collation: pack N request graphs into one block-diagonal batch.
+///
+/// A single ExecutionPlan run answers many inference requests at once: the
+/// collator shifts each request's vertex ids by the running vertex total and
+/// concatenates the edge lists, producing one Graph whose CSR/CSC is exactly
+/// the block-diagonal union of the per-request adjacencies. Feature (and
+/// pseudo-coordinate) tensors are row-concatenated in the same order, and a
+/// per-request RequestRange records which batch rows belong to whom so
+/// outputs can be de-collated after the run.
+///
+/// Because the Graph constructor's counting sort is stable, every vertex's
+/// incident-edge list in the batch graph preserves the request's own edge
+/// order, and no two requests ever share a vertex — so per-vertex sequential
+/// reductions see exactly the operands, in exactly the order, they would see
+/// in a standalone run. Batched execution is therefore bit-identical to
+/// sequential per-request execution (tests/test_serving.cc pins this down for
+/// batch sizes 1, 2 and 8).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/csr.h"
+#include "tensor/tensor.h"
+
+namespace triad::serve {
+
+/// One inference request: a graph plus its vertex-feature rows (and, for
+/// models that take edge pseudo-coordinates, the per-edge input). The graph
+/// is shared so the client can keep using it after submission.
+struct InferenceRequest {
+  std::shared_ptr<const Graph> graph;
+  Tensor features;  ///< (graph->num_vertices(), f)
+  Tensor pseudo;    ///< optional (graph->num_edges(), r); MoNet-style models
+};
+
+/// The batch rows owned by one request: vertex-space tensors use rows
+/// [v_lo, v_hi), edge-space tensors rows [e_lo, e_hi).
+struct RequestRange {
+  std::int64_t v_lo = 0, v_hi = 0;
+  std::int64_t e_lo = 0, e_hi = 0;
+
+  std::int64_t num_vertices() const { return v_hi - v_lo; }
+  std::int64_t num_edges() const { return e_hi - e_lo; }
+};
+
+/// A collated batch: the block-diagonal graph, concatenated inputs, and the
+/// per-request ranges needed to de-collate outputs. An empty batch has a
+/// null graph, undefined tensors, and no ranges.
+struct CollatedBatch {
+  std::shared_ptr<const Graph> graph;
+  Tensor features;
+  Tensor pseudo;  ///< defined iff every request carried a pseudo tensor
+  std::vector<RequestRange> ranges;
+
+  int size() const { return static_cast<int>(ranges.size()); }
+  std::int64_t num_vertices() const { return graph ? graph->num_vertices() : 0; }
+  std::int64_t num_edges() const { return graph ? graph->num_edges() : 0; }
+};
+
+/// Collates requests in the given order. All requests must carry a graph and
+/// a feature tensor of the same width; pseudo tensors are all-or-none (and
+/// of the same width when present). Throws triad::Error on mismatches.
+CollatedBatch collate(const std::vector<const InferenceRequest*>& requests,
+                      MemoryPool* pool = &global_pool_mem());
+
+/// Convenience overload over owned requests.
+CollatedBatch collate(const std::vector<InferenceRequest>& requests,
+                      MemoryPool* pool = &global_pool_mem());
+
+/// Copies one request's rows [r.v_lo, r.v_hi) of a batch vertex-space tensor
+/// into a fresh tensor — the de-collation step for model outputs.
+Tensor decollate(const Tensor& batch_rows, const RequestRange& r,
+                 MemTag tag = MemTag::kActivations,
+                 MemoryPool* pool = &global_pool_mem());
+
+}  // namespace triad::serve

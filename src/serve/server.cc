@@ -1,0 +1,200 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "baselines/plan_cache.h"
+#include "support/macros.h"
+
+namespace triad::serve {
+
+InferenceServer::InferenceServer(std::string model_name, ModelBuilder builder,
+                                 ServerConfig config)
+    : model_name_(std::move(model_name)),
+      builder_(std::move(builder)),
+      config_(std::move(config)),
+      batcher_(config_.batch) {
+  TRIAD_CHECK(builder_ != nullptr, "InferenceServer needs a model builder");
+  const int workers = std::max(1, config_.workers);
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+InferenceServer::~InferenceServer() { shutdown(); }
+
+std::future<InferenceResult> InferenceServer::make_pending(
+    InferenceRequest request, Pending* out) {
+  out->request = std::move(request);
+  out->submit_seconds = clock_.seconds();
+  return out->promise.get_future();
+}
+
+// Submissions are registered (submitted count, loaded-window start) BEFORE
+// the enqueue: a fast worker may complete the request before the submitter
+// regains the CPU, and stats() must never observe completed > submitted.
+// first_submit_ is min-merged so racing submitters cannot shrink the window.
+void InferenceServer::register_submit(double at) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.submitted;
+  if (first_submit_ < 0 || at < first_submit_) first_submit_ = at;
+}
+
+void InferenceServer::unregister_submit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --stats_.submitted;
+  if (stats_.submitted == 0 && stats_.completed == 0) first_submit_ = -1;
+}
+
+std::future<InferenceResult> InferenceServer::submit(InferenceRequest request) {
+  Pending p;
+  std::future<InferenceResult> fut = make_pending(std::move(request), &p);
+  register_submit(p.submit_seconds);
+  if (!batcher_.enqueue(std::move(p))) {
+    unregister_submit();
+    throw Error("InferenceServer: submit() after shutdown");
+  }
+  return fut;
+}
+
+bool InferenceServer::try_submit(InferenceRequest request,
+                                 std::future<InferenceResult>* out) {
+  Pending p;
+  std::future<InferenceResult> fut = make_pending(std::move(request), &p);
+  register_submit(p.submit_seconds);
+  if (!batcher_.try_enqueue(std::move(p))) {
+    unregister_submit();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.rejected;
+    return false;
+  }
+  if (out != nullptr) *out = std::move(fut);
+  return true;
+}
+
+void InferenceServer::worker_loop() {
+  for (;;) {
+    std::vector<Pending> batch = batcher_.next_batch();
+    if (batch.empty()) return;  // closed and drained
+    serve_batch(batch);
+  }
+}
+
+void InferenceServer::serve_batch(std::vector<Pending>& batch) {
+  Timer exec;
+  CounterScope scope;
+  const int batch_size = static_cast<int>(batch.size());
+  // Promises fulfilled so far: on a mid-loop failure the catch block must
+  // only set_exception on the remainder (set_exception on an already
+  // satisfied promise throws out of the handler and would kill the worker).
+  std::size_t fulfilled = 0;
+  try {
+    std::vector<const InferenceRequest*> requests;
+    requests.reserve(batch.size());
+    for (const Pending& p : batch) requests.push_back(&p.request);
+    CollatedBatch cb = collate(requests, &pool_);
+
+    // One plan per distinct batch shape, ever: the PlanCache hands every
+    // later batch of this shape the same immutable artifact, and concurrent
+    // workers may execute it simultaneously (the plan is never written).
+    const PlanKey key{model_name_,        config_.strategy.name,
+                      /*training=*/false, cb.num_vertices(),
+                      cb.num_edges(),     cb.features.cols()};
+    std::shared_ptr<const Compiled> compiled =
+        PlanCache::global().get_or_compile(key, config_.strategy, false,
+                                           *cb.graph, builder_);
+
+    PlanRunner runner(*cb.graph, compiled->plan, &pool_);
+    std::shared_ptr<const Partitioning> partition;
+    if (config_.shards > 0) {
+      partition = std::make_shared<const Partitioning>(Partitioning::build(
+          *cb.graph, config_.shards, config_.partition_strategy));
+      runner.set_partitioning(partition.get());
+    }
+    runner.bind(compiled->features, cb.features);
+    if (compiled->pseudo >= 0) {
+      TRIAD_CHECK(cb.pseudo.defined(),
+                  "model '" << model_name_
+                            << "' takes pseudo-coordinates but the requests "
+                               "carried none");
+      runner.bind(compiled->pseudo, cb.pseudo);
+    }
+    // Weights are shared read-only across every concurrent batch: binding
+    // copies the tensor handle, not the payload.
+    for (std::size_t i = 0; i < compiled->params.size(); ++i) {
+      runner.bind(compiled->params[i], compiled->init[i]);
+    }
+    runner.run();
+    Tensor out = runner.take_result(compiled->output);
+
+    // Do all throwing work (de-collation allocates; a capacity-capped pool
+    // may refuse) before fulfilling the first promise, so a failure here
+    // still fails the whole batch uniformly.
+    const double batch_seconds = exec.seconds();
+    std::vector<InferenceResult> results;
+    results.reserve(batch.size());
+    for (int i = 0; i < batch_size; ++i) {
+      InferenceResult res;
+      // De-collated outputs live on the (thread-safe) global pool so they
+      // remain valid after this worker — and the server — are gone.
+      res.output = decollate(out, cb.ranges[static_cast<std::size_t>(i)],
+                             MemTag::kActivations, &global_pool_mem());
+      res.latency_seconds =
+          clock_.seconds() - batch[static_cast<std::size_t>(i)].submit_seconds;
+      res.batch_seconds = batch_seconds;
+      res.batch_size = batch_size;
+      results.push_back(std::move(res));
+    }
+    for (; fulfilled < batch.size(); ++fulfilled) {
+      latency_.record(results[fulfilled].latency_seconds);
+      batch[fulfilled].promise.set_value(std::move(results[fulfilled]));
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.completed += static_cast<std::uint64_t>(batch_size);
+    ++stats_.batches;
+    stats_.busy_seconds += batch_seconds;
+    stats_.counters += scope.delta();
+    last_done_ = std::max(last_done_, clock_.seconds());
+  } catch (...) {
+    const std::exception_ptr error = std::current_exception();
+    for (std::size_t i = fulfilled; i < batch.size(); ++i) {
+      batch[i].promise.set_exception(error);
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.failed += static_cast<std::uint64_t>(batch.size() - fulfilled);
+    stats_.completed += static_cast<std::uint64_t>(fulfilled);
+    ++stats_.batches;
+    stats_.busy_seconds += exec.seconds();
+    stats_.counters += scope.delta();
+    last_done_ = std::max(last_done_, clock_.seconds());
+  }
+}
+
+void InferenceServer::shutdown() {
+  batcher_.close();
+  std::lock_guard<std::mutex> lock(join_mu_);
+  if (joined_) return;
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  joined_ = true;
+}
+
+ServerStats InferenceServer::stats() const {
+  ServerStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s = stats_;
+    if (first_submit_ >= 0 && last_done_ > first_submit_) {
+      s.wall_seconds = last_done_ - first_submit_;
+    }
+  }
+  s.queue_depth = batcher_.depth();
+  s.pool_peak_bytes = pool_.peak_bytes();
+  s.latency = latency_.snapshot();
+  return s;
+}
+
+}  // namespace triad::serve

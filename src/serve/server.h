@@ -1,0 +1,145 @@
+/// \file
+/// InferenceServer: the batched serving runtime over the compiled-plan stack.
+///
+/// The compile-once/serve-many story, end to end: requests enter a bounded
+/// queue, an AdaptiveBatcher forms batches under a max-batch/max-wait policy,
+/// and worker loops collate each batch into one block-diagonal graph, fetch
+/// the matching immutable ExecutionPlan from the process-wide PlanCache (one
+/// compile per distinct batch shape, ever), execute it through a PlanRunner —
+/// shard-parallel when configured — and de-collate per-request outputs back
+/// to their futures. Batched execution is bit-identical to running every
+/// request alone (see serve/collate.h), so batching is purely a
+/// throughput/latency policy, never an accuracy trade.
+///
+/// Per-request latency lands in a LatencyHistogram (p50/p95/p99 are the
+/// serving SLO currency) and per-batch counter deltas are aggregated into
+/// ServerStats, which bench_serving writes into the BENCH JSON machinery.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/strategy.h"
+#include "graph/partition.h"
+#include "serve/batcher.h"
+#include "serve/collate.h"
+#include "support/counters.h"
+#include "support/histogram.h"
+#include "support/timer.h"
+
+namespace triad::serve {
+
+struct ServerConfig {
+  Strategy strategy = ours();  ///< pass pipeline the plans are compiled under
+  BatchPolicy batch;
+  int workers = 1;  ///< concurrent batch-serving loops
+  /// K > 0: execute each batch shard-parallel (one pool task per shard,
+  /// deterministic boundary combine — still bit-identical). 0 = unsharded
+  /// fine-grained chunked kernels.
+  int shards = 0;
+  PartitionStrategy partition_strategy = PartitionStrategy::DegreeBalanced;
+};
+
+/// What a request's future resolves to.
+struct InferenceResult {
+  Tensor output;             ///< this request's output rows (de-collated)
+  double latency_seconds = 0;  ///< submit() -> result ready
+  double batch_seconds = 0;    ///< execution time of the batch it rode in
+  int batch_size = 0;          ///< how many requests shared that run
+};
+
+/// Aggregate serving metrics. wall_seconds spans first submit to last
+/// completion, so throughput_rps() reflects the actually loaded window.
+struct ServerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;  ///< try_submit refusals (queue full)
+  std::uint64_t failed = 0;    ///< promises fulfilled with an exception
+  std::uint64_t batches = 0;
+  double busy_seconds = 0;  ///< summed batch execution time (all workers)
+  double wall_seconds = 0;
+  std::size_t queue_depth = 0;      ///< at snapshot time
+  std::size_t pool_peak_bytes = 0;  ///< server-internal batch memory peak
+  LatencyHistogram::Snapshot latency;
+  PerfCounters counters;  ///< summed per-batch deltas across workers
+
+  double throughput_rps() const {
+    return wall_seconds > 0 ? static_cast<double>(completed) / wall_seconds : 0;
+  }
+  double mean_batch_size() const {
+    return batches > 0 ? static_cast<double>(completed) / static_cast<double>(batches)
+                       : 0;
+  }
+};
+
+class InferenceServer {
+ public:
+  /// Builds the model IR + parameters served by this server. Called on cache
+  /// misses (one per distinct batch shape) from worker threads, possibly
+  /// concurrently — it must be self-contained (seed an Rng inside). To serve
+  /// trained weights, bake them into the ModelGraph's init tensors.
+  using ModelBuilder = std::function<ModelGraph()>;
+
+  /// `model_name` is the PlanCache identity of the served model (include the
+  /// hyperparameters, e.g. "gcn/h32"). Workers start immediately.
+  InferenceServer(std::string model_name, ModelBuilder builder,
+                  ServerConfig config = {});
+  ~InferenceServer();  ///< implies shutdown()
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Blocking submit: waits for queue space under back-pressure. Throws
+  /// triad::Error after shutdown().
+  std::future<InferenceResult> submit(InferenceRequest request);
+
+  /// Admission-controlled submit: false (and no future) when the queue is
+  /// full or the server is shut down. Counted in ServerStats::rejected.
+  bool try_submit(InferenceRequest request, std::future<InferenceResult>* out);
+
+  /// Stops accepting requests, serves everything already queued, joins the
+  /// workers. Idempotent.
+  void shutdown();
+
+  ServerStats stats() const;
+  const ServerConfig& config() const { return config_; }
+  const std::string& model_name() const { return model_name_; }
+
+ private:
+  struct Pending {
+    InferenceRequest request;
+    std::promise<InferenceResult> promise;
+    double submit_seconds = 0;  ///< on the server clock
+  };
+
+  std::future<InferenceResult> make_pending(InferenceRequest request,
+                                            Pending* out);
+  void register_submit(double at);
+  void unregister_submit();
+  void worker_loop();
+  void serve_batch(std::vector<Pending>& batch);
+
+  const std::string model_name_;
+  const ModelBuilder builder_;
+  const ServerConfig config_;
+  Timer clock_;  ///< server-lifetime clock; all timestamps are its seconds
+  MemoryPool pool_;  ///< batch-internal tensors (collated inputs, slots)
+  AdaptiveBatcher<Pending> batcher_;
+
+  mutable std::mutex mu_;  ///< guards the mutable stats below
+  ServerStats stats_;
+  double first_submit_ = -1;
+  double last_done_ = 0;
+  LatencyHistogram latency_;
+
+  std::vector<std::thread> workers_;
+  std::mutex join_mu_;  ///< separate from mu_: workers take mu_ while running
+  bool joined_ = false;
+};
+
+}  // namespace triad::serve

@@ -1,11 +1,12 @@
-// Performance accounting: the analytic cost model behind every number the
-// benchmark harness reports.
-//
-// Each engine kernel *executes* the real math on the CPU and additionally
-// charges this ledger with the DRAM traffic / FLOPs / atomics that a GPU
-// kernel with the same thread mapping would incur (the paper's IO analysis in
-// Sections 4–5 uses exactly this naive global-memory model, e.g. the GAT
-// pre-fusion IO of |V|hf + 7|E|h + 3|E|hf).
+/// \file
+/// Performance accounting: the analytic cost model behind every number the
+/// benchmark harness reports.
+///
+/// Each engine kernel *executes* the real math on the CPU and additionally
+/// charges this ledger with the DRAM traffic / FLOPs / atomics that a GPU
+/// kernel with the same thread mapping would incur (the paper's IO analysis in
+/// Sections 4–5 uses exactly this naive global-memory model, e.g. the GAT
+/// pre-fusion IO of |V|hf + 7|E|h + 3|E|hf).
 #pragma once
 
 #include <cstdint>

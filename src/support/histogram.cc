@@ -1,0 +1,62 @@
+#include "support/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace triad {
+
+namespace {
+
+/// Nearest-rank percentile over a sorted sample vector.
+double rank(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double clamped = std::min(100.0, std::max(0.0, p));
+  const auto n = static_cast<double>(sorted.size());
+  const auto idx = static_cast<std::size_t>(
+      std::max(0.0, std::ceil(clamped / 100.0 * n) - 1.0));
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+void LatencyHistogram::record(double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_.push_back(seconds);
+  sum_ += seconds;
+}
+
+double LatencyHistogram::percentile(double p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<double> sorted(samples_);
+  std::sort(sorted.begin(), sorted.end());
+  return rank(sorted, p);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot s;
+  s.count = samples_.size();
+  s.sum = sum_;
+  if (samples_.empty()) return s;
+  std::vector<double> sorted(samples_);
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.p50 = rank(sorted, 50.0);
+  s.p95 = rank(sorted, 95.0);
+  s.p99 = rank(sorted, 99.0);
+  return s;
+}
+
+std::size_t LatencyHistogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_.size();
+}
+
+void LatencyHistogram::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_.clear();
+  sum_ = 0.0;
+}
+
+}  // namespace triad

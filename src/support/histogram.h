@@ -1,0 +1,50 @@
+/// \file
+/// Latency recording for the serving runtime.
+///
+/// Serving SLOs are quantile-shaped (p50/p95/p99), not mean-shaped: one slow
+/// batch hiding behind a good average is exactly what a tail percentile
+/// exposes. The recorder keeps every sample (serving benches are bounded, so
+/// exact quantiles are affordable — no HDR bucketing needed yet) and computes
+/// nearest-rank percentiles on demand.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace triad {
+
+/// Thread-safe exact-sample latency recorder. record() is called by server
+/// workers; snapshot()/percentile() by whoever reports.
+class LatencyHistogram {
+ public:
+  /// Point-in-time aggregate. Percentiles are nearest-rank over the recorded
+  /// samples; all values in seconds.
+  struct Snapshot {
+    std::size_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+
+    double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+  };
+
+  void record(double seconds);
+
+  /// Nearest-rank percentile, p in [0, 100]. Zero when no samples.
+  double percentile(double p) const;
+
+  Snapshot snapshot() const;
+  std::size_t count() const;
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> samples_;
+  double sum_ = 0.0;
+};
+
+}  // namespace triad

@@ -1,7 +1,8 @@
-// Error-checking and utility macros used across triad.
-//
-// All invariant violations throw triad::Error (derived from std::runtime_error)
-// with file/line context, so both library users and tests can catch them.
+/// \file
+/// Error-checking and utility macros used across triad.
+///
+/// All invariant violations throw triad::Error (derived from std::runtime_error)
+/// with file/line context, so both library users and tests can catch them.
 #pragma once
 
 #include <sstream>

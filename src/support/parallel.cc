@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <exception>
 
 namespace triad {
 
@@ -17,6 +18,12 @@ bool& pool_constructed() {
   static bool constructed = false;
   return constructed;
 }
+
+// True on threads currently executing a pool task (workers always, the
+// caller while it participates as worker 0). A nested run_on_all from such a
+// thread must not try to fan out again: the pool holds one task slot, and
+// the caller thread would deadlock on its own submit lock.
+thread_local bool tls_in_pool_task = false;
 
 unsigned decide_pool_size() {
   if (pool_size_override() > 0) return pool_size_override();
@@ -47,24 +54,46 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run_on_all(const std::function<void(unsigned)>& fn) {
-  if (workers_.empty()) {
+  if (workers_.empty() || tls_in_pool_task) {
     fn(0);
     return;
   }
+  // One fan-out at a time: concurrent callers (e.g. serving workers running
+  // batches in parallel) queue here instead of clobbering the task slot.
+  std::lock_guard<std::mutex> submit(submit_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);
     task_.fn = &fn;
     ++task_.epoch;
     pending_ = static_cast<unsigned>(workers_.size());
+    task_error_ = nullptr;
   }
   cv_start_.notify_all();
-  fn(0);
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_done_.wait(lock, [this] { return pending_ == 0; });
-  task_.fn = nullptr;
+  // Any slice may throw (kernels use TRIAD_CHECK): worker slices park their
+  // exception in task_error_ (see worker_loop) instead of unwinding a pool
+  // thread into std::terminate. The tls flag must be restored and the
+  // workers — who hold a pointer to the stack-local fn — must be drained
+  // before the first error may propagate to the caller.
+  std::exception_ptr error;
+  tls_in_pool_task = true;
+  try {
+    fn(0);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  tls_in_pool_task = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [this] { return pending_ == 0; });
+    task_.fn = nullptr;
+    if (error == nullptr) error = task_error_;
+    task_error_ = nullptr;
+  }
+  if (error != nullptr) std::rethrow_exception(error);
 }
 
 void ThreadPool::worker_loop(unsigned index) {
+  tls_in_pool_task = true;  // pool workers only ever run pool tasks
   std::uint64_t seen_epoch = 0;
   for (;;) {
     const std::function<void(unsigned)>* fn = nullptr;
@@ -75,7 +104,12 @@ void ThreadPool::worker_loop(unsigned index) {
       seen_epoch = task_.epoch;
       fn = task_.fn;
     }
-    (*fn)(index);
+    try {
+      (*fn)(index);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (task_error_ == nullptr) task_error_ = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--pending_ == 0) cv_done_.notify_all();

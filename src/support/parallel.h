@@ -1,15 +1,17 @@
-// Minimal thread-pool and parallel_for.
-//
-// The engine's kernels express their parallelism through parallel_for with an
-// explicit grain; on a single-core host this degrades to a serial loop with
-// zero overhead, while the thread-mapping *semantics* (vertex-balanced vs
-// edge-balanced work division, atomics for cross-thread reduction) are
-// preserved and separately accounted by the cost model in counters.h.
+/// \file
+/// Minimal thread-pool and parallel_for.
+///
+/// The engine's kernels express their parallelism through parallel_for with an
+/// explicit grain; on a single-core host this degrades to a serial loop with
+/// zero overhead, while the thread-mapping *semantics* (vertex-balanced vs
+/// edge-balanced work division, atomics for cross-thread reduction) are
+/// preserved and separately accounted by the cost model in counters.h.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -29,7 +31,13 @@ class ThreadPool {
   unsigned size() const { return static_cast<unsigned>(workers_.size()) + 1; }
 
   /// Runs fn(worker_index) on every worker (including the caller as worker 0)
-  /// and blocks until all return.
+  /// and blocks until all return. Safe to call from multiple threads
+  /// concurrently — callers are serialized, one fan-out at a time (the
+  /// serving runtime's worker loops share this pool). A call made from
+  /// *inside* a pool task degrades to fn(0) inline rather than deadlocking,
+  /// so nested parallelism is legal but serial. Exceptions thrown by any
+  /// slice are captured; the first one rethrows on the calling thread after
+  /// every worker has finished (a pool thread never terminates the process).
   void run_on_all(const std::function<void(unsigned)>& fn);
 
  private:
@@ -41,10 +49,12 @@ class ThreadPool {
   void worker_loop(unsigned index);
 
   std::vector<std::thread> workers_;
+  std::mutex submit_mu_;  ///< serializes concurrent run_on_all callers
   std::mutex mu_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
   Task task_;
+  std::exception_ptr task_error_;  ///< first slice failure of the fan-out
   unsigned pending_ = 0;
   bool stop_ = false;
 };

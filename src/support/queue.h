@@ -1,0 +1,112 @@
+/// \file
+/// Bounded MPMC blocking queue with close semantics.
+///
+/// The admission-control buffer of the serving runtime (serve/batcher.h):
+/// producers block (or fail fast via try_push) when the queue is full, so a
+/// traffic burst turns into back-pressure instead of unbounded memory growth.
+/// close() wakes every waiter; consumers drain what is left and then observe
+/// end-of-stream as an empty optional.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace triad {
+
+/// Fixed-capacity multi-producer multi-consumer queue. All methods are
+/// thread-safe; a capacity of 0 is promoted to 1.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity > 0 ? capacity : 1) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while full. Returns false (item dropped) once the queue is
+  /// closed — producers use this as the shutdown signal.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_space_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    cv_item_.notify_one();
+    return true;
+  }
+
+  /// Never blocks. Returns false when full or closed — the admission-control
+  /// path: a rejected request is the caller's to retry or fail.
+  bool try_push(T item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    cv_item_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty. Empty optional means closed *and* drained: items
+  /// enqueued before close() are always delivered.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_item_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    return take(lock);
+  }
+
+  /// Like pop(), but gives up at `deadline` (empty optional on timeout). A
+  /// deadline in the past still delivers an immediately available item —
+  /// the zero-wait batching policy relies on that.
+  template <typename Clock, typename Duration>
+  std::optional<T> pop_until(std::chrono::time_point<Clock, Duration> deadline) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!cv_item_.wait_until(lock, deadline,
+                             [this] { return closed_ || !items_.empty(); })) {
+      return std::nullopt;
+    }
+    return take(lock);
+  }
+
+  /// Wakes all waiters. Pending items stay poppable; further pushes fail.
+  void close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    cv_item_.notify_all();
+    cv_space_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  /// Pops the front under an already-held lock; empty when closed+drained.
+  std::optional<T> take(std::unique_lock<std::mutex>&) {
+    if (items_.empty()) return std::nullopt;  // only reachable when closed
+    std::optional<T> item(std::move(items_.front()));
+    items_.pop_front();
+    cv_space_.notify_one();
+    return item;
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_item_;
+  std::condition_variable cv_space_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace triad

@@ -1,8 +1,9 @@
-// Deterministic, fast pseudo-random number generation (xoshiro256**).
-//
-// All stochastic pieces of triad (graph generators, weight init, point-cloud
-// synthesis) take an explicit Rng so every experiment is reproducible from a
-// single seed.
+/// \file
+/// Deterministic, fast pseudo-random number generation (xoshiro256**).
+///
+/// All stochastic pieces of triad (graph generators, weight init, point-cloud
+/// synthesis) take an explicit Rng so every experiment is reproducible from a
+/// single seed.
 #pragma once
 
 #include <cstdint>

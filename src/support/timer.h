@@ -1,4 +1,5 @@
-// Wall-clock timing helpers.
+/// \file
+/// Wall-clock timing helpers.
 #pragma once
 
 #include <chrono>

@@ -27,6 +27,7 @@ OutOfMemory::OutOfMemory(std::size_t req, std::size_t lv, std::size_t cap)
       capacity(cap) {}
 
 void MemoryPool::on_alloc(std::size_t bytes, MemTag tag) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (capacity_ != 0 && live_ + bytes > capacity_) {
     throw OutOfMemory(bytes, live_, capacity_);
   }
@@ -39,6 +40,7 @@ void MemoryPool::on_alloc(std::size_t bytes, MemTag tag) {
 }
 
 void MemoryPool::on_free(std::size_t bytes, MemTag tag) {
+  std::lock_guard<std::mutex> lock(mu_);
   TRIAD_CHECK_GE(live_, bytes, "pool free underflow");
   auto& tagged = live_by_tag_[static_cast<std::size_t>(tag)];
   TRIAD_CHECK_GE(tagged, bytes, "tag " << mem_tag_name(tag) << " free underflow");
@@ -69,11 +71,13 @@ void MemoryPool::free_i32(std::int32_t* p, std::size_t count, MemTag tag) {
 }
 
 void MemoryPool::reset_peak() {
+  std::lock_guard<std::mutex> lock(mu_);
   peak_ = live_;
   peak_by_tag_ = live_by_tag_;
 }
 
 std::string MemoryPool::report() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
   os << "peak=" << human_bytes(peak_) << " live=" << human_bytes(live_);
   os << " [at peak:";

@@ -1,15 +1,17 @@
-// Device-memory accounting pool.
-//
-// Every Tensor payload is allocated through MemoryPool so triad can report
-// *faithful* peak memory for a training step, split by purpose — the quantity
-// Figures 7/10/11 of the paper compare. The pool optionally enforces a device
-// capacity (Fig. 11's 8 GB RTX 2080 vs 24 GB RTX 3090 experiment): exceeding
-// it throws OutOfMemory, which the harness reports as "does not fit".
+/// \file
+/// Device-memory accounting pool.
+///
+/// Every Tensor payload is allocated through MemoryPool so triad can report
+/// *faithful* peak memory for a training step, split by purpose — the quantity
+/// Figures 7/10/11 of the paper compare. The pool optionally enforces a device
+/// capacity (Fig. 11's 8 GB RTX 2080 vs 24 GB RTX 3090 experiment): exceeding
+/// it throws OutOfMemory, which the harness reports as "does not fit".
 #pragma once
 
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "support/macros.h"
@@ -37,28 +39,44 @@ class OutOfMemory : public Error {
 };
 
 /// Byte-accounting allocator. Not a real arena — it delegates to operator
-/// new[] — but every alloc/free updates live/peak statistics atomically
-/// attributed to a MemTag.
+/// new[] — but every alloc/free updates live/peak statistics attributed to a
+/// MemTag. Accounting is mutex-protected, so one pool may be shared by
+/// concurrent runners (e.g. serving workers de-collating outputs into the
+/// global pool) without corrupting the live/peak ledger.
 class MemoryPool {
  public:
   MemoryPool() = default;
 
   /// 0 = unlimited (default).
-  void set_capacity(std::size_t bytes) { capacity_ = bytes; }
-  std::size_t capacity() const { return capacity_; }
+  void set_capacity(std::size_t bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    capacity_ = bytes;
+  }
+  std::size_t capacity() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return capacity_;
+  }
 
   float* alloc_f32(std::size_t count, MemTag tag);
   std::int32_t* alloc_i32(std::size_t count, MemTag tag);
   void free_f32(float* p, std::size_t count, MemTag tag);
   void free_i32(std::int32_t* p, std::size_t count, MemTag tag);
 
-  std::size_t live_bytes() const { return live_; }
-  std::size_t peak_bytes() const { return peak_; }
+  std::size_t live_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return live_;
+  }
+  std::size_t peak_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_;
+  }
   std::size_t live_bytes(MemTag tag) const {
+    std::lock_guard<std::mutex> lock(mu_);
     return live_by_tag_[static_cast<std::size_t>(tag)];
   }
   /// Per-tag live bytes observed at the moment of the global peak.
   std::size_t peak_breakdown(MemTag tag) const {
+    std::lock_guard<std::mutex> lock(mu_);
     return peak_by_tag_[static_cast<std::size_t>(tag)];
   }
 
@@ -71,6 +89,7 @@ class MemoryPool {
   void on_alloc(std::size_t bytes, MemTag tag);
   void on_free(std::size_t bytes, MemTag tag);
 
+  mutable std::mutex mu_;
   std::size_t capacity_ = 0;
   std::size_t live_ = 0;
   std::size_t peak_ = 0;

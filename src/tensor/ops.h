@@ -1,8 +1,9 @@
-// Raw dense math used by the engine's kernels.
-//
-// These routines do the arithmetic only; cost accounting (FLOPs/DRAM bytes)
-// is charged by the engine kernels that invoke them, so the same math can be
-// reused by tests without polluting the experiment counters.
+/// \file
+/// Raw dense math used by the engine's kernels.
+///
+/// These routines do the arithmetic only; cost accounting (FLOPs/DRAM bytes)
+/// is charged by the engine kernels that invoke them, so the same math can be
+/// reused by tests without polluting the experiment counters.
 #pragma once
 
 #include <cstdint>

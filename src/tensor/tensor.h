@@ -1,8 +1,9 @@
-// Dense 2-D row-major tensors over the accounting MemoryPool.
-//
-// Tensors are shallow-copyable handles (shared ownership of the payload);
-// the payload is returned to its pool when the last handle dies, which is how
-// the executor's eager-free policy turns into accurate peak-memory numbers.
+/// \file
+/// Dense 2-D row-major tensors over the accounting MemoryPool.
+///
+/// Tensors are shallow-copyable handles (shared ownership of the payload);
+/// the payload is returned to its pool when the last handle dies, which is how
+/// the executor's eager-free policy turns into accurate peak-memory numbers.
 #pragma once
 
 #include <cstdint>

@@ -18,12 +18,17 @@
 #include <string>
 #include <vector>
 
+#include <atomic>
+#include <memory>
+
 #include "baselines/plan_cache.h"
 #include "baselines/strategy.h"
 #include "engine/device.h"
 #include "graph/datasets.h"
 #include "graph/knn.h"
 #include "graph/partition.h"
+#include "ir/dot.h"
+#include "ir/passes/pass_manager.h"
 #include "models/models.h"
 #include "models/trainer.h"
 #include "support/counters.h"
@@ -54,6 +59,7 @@ struct Options {
   unsigned seed = 42;
   bool json = true;          ///< emit BENCH_<name>.json
   std::string json_dir = "."; ///< where to write it
+  std::string dump_ir;       ///< write one DOT file per pipeline stage here
 
   static Options parse(int argc, char** argv) {
     Options o;
@@ -68,6 +74,7 @@ struct Options {
       if (const char* v = val("--threads")) o.threads = std::atoi(v);
       if (const char* v = val("--seed")) o.seed = static_cast<unsigned>(std::atoi(v));
       if (const char* v = val("--json-dir")) o.json_dir = v;
+      if (const char* v = val("--dump-ir")) o.dump_ir = v;
       if (std::strcmp(argv[i], "--no-json") == 0) o.json = false;
       if (std::strcmp(argv[i], "--full") == 0) {
         o.scale = 1.0;
@@ -79,6 +86,26 @@ struct Options {
     // The pool can only be sized before its first use; parse() runs first
     // thing in main, so this is the window.
     if (o.threads > 0) set_global_pool_threads(static_cast<unsigned>(o.threads));
+    if (!o.dump_ir.empty()) {
+      // One DOT file per pipeline stage, numbered in execution order across
+      // every compilation this process performs. The directory must exist.
+      // Atomic: serving-style benches compile concurrently from workers.
+      auto stage = std::make_shared<std::atomic<int>>(0);
+      PassManager::set_default_dump_hook(
+          [stage, dir = o.dump_ir](const std::string& pass, const IrGraph& ir) {
+            char path[512];
+            std::snprintf(path, sizeof path, "%s/%03d_%s.dot", dir.c_str(),
+                          stage->fetch_add(1), pass.c_str());
+            std::FILE* f = std::fopen(path, "w");
+            if (f == nullptr) {
+              std::fprintf(stderr, "warning: cannot write %s\n", path);
+              return;
+            }
+            const std::string dot = to_dot(ir, pass);
+            std::fwrite(dot.data(), 1, dot.size(), f);
+            std::fclose(f);
+          });
+    }
     return o;
   }
 
@@ -95,6 +122,13 @@ struct Measurement {
   PerfCounters counters;        ///< full counter delta per step
   int shards = 0;               ///< K of this run (0 = unsharded)
   std::size_t shard_peak_bytes = 0;  ///< max per-shard analytic peak (K > 0)
+  /// Compile-phase breakdown: the full PassManager report (including note()
+  /// entries) plus the IR node counts entering and leaving the pipeline —
+  /// what the JSON `compile_passes` array and node-count fields are built
+  /// from, so compile-time cost vs run-time win is machine-readable.
+  std::vector<PassInfo> passes;
+  int ir_nodes_before = 0;
+  int ir_nodes_after = 0;
 };
 
 /// Runs `steps` training (or forward-only) steps off the model's compiled
@@ -107,6 +141,11 @@ inline Measurement measure_training(Compiled compiled, const Graph& g,
                                     bool training, MemoryPool* pool) {
   Measurement m;
   m.compile_seconds = compiled.stats.total_seconds();
+  m.passes = compiled.stats.passes;
+  if (!m.passes.empty()) {
+    m.ir_nodes_before = m.passes.front().nodes_before;
+    m.ir_nodes_after = m.passes.back().nodes_after;
+  }
   if (compiled.partition != nullptr) {
     m.shards = compiled.partition->num_shards();
     m.shard_peak_bytes = compiled.plan->max_shard_peak_bytes();
@@ -188,11 +227,48 @@ class JsonReport {
     add(workload, strategy, m, base, extra);
   }
 
-  /// Records without printing (for benches with custom table formats).
+  /// Records without printing (for benches with custom table formats). The
+  /// compile-phase breakdown (`compile_passes`, `ir_nodes_before/after`) is
+  /// appended to the row through the same extra-field mechanism callers use.
   void add(const std::string& workload, const std::string& strategy,
            const Measurement& m, const Measurement& base,
            const std::string& extra = "") {
-    rows_.push_back({workload, strategy, m, base.seconds, base.peak_bytes, extra});
+    std::string merged = extra;
+    if (!merged.empty()) merged += ", ";
+    merged += compile_fields_json(m);
+    rows_.push_back({workload, strategy, m, base.seconds, base.peak_bytes,
+                     std::move(merged)});
+  }
+
+  /// `"ir_nodes_before": …, "ir_nodes_after": …, "compile_passes": […]` —
+  /// the full PassManager report (note() entries included) as raw JSON
+  /// fragments for one row.
+  static std::string compile_fields_json(const Measurement& m) {
+    std::string out = "\"ir_nodes_before\": " +
+                      std::to_string(m.ir_nodes_before) +
+                      ", \"ir_nodes_after\": " +
+                      std::to_string(m.ir_nodes_after) +
+                      ", \"compile_passes\": [";
+    char buf[96];
+    for (std::size_t i = 0; i < m.passes.size(); ++i) {
+      const PassInfo& p = m.passes[i];
+      std::snprintf(buf, sizeof buf,
+                    "\"seconds\": %.6e, \"nodes_before\": %d, "
+                    "\"nodes_after\": %d",
+                    p.seconds, p.nodes_before, p.nodes_after);
+      out += (i ? ", " : "") + ("{\"name\": \"" + p.name + "\", ") + buf;
+      if (!p.rules.empty()) {
+        out += ", \"rules\": [";
+        for (std::size_t r = 0; r < p.rules.size(); ++r) {
+          out += (r ? ", " : "") + ("{\"rule\": \"" + p.rules[r].rule +
+                                    "\", \"hits\": ") +
+                 std::to_string(p.rules[r].hits) + "}";
+        }
+        out += "]";
+      }
+      out += "}";
+    }
+    return out + "]";
   }
 
   void write() const {

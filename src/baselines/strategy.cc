@@ -11,6 +11,7 @@ Strategy dgl_like() {
   s.name = "DGL";
   s.prereorganized_gat = true;  // DGL's GATConv separates aL/aR by hand
   s.builtin_softmax = true;     // DGL ships a fused edge-softmax kernel
+  s.optimize = false;           // baselines model systems without a graph compiler
   return s;
 }
 
@@ -19,6 +20,7 @@ Strategy fusegnn_like() {
   s.name = "fuseGNN";
   s.builtin_softmax = true;
   s.fusion = FusionMode::EdgeOnly;
+  s.optimize = false;
   return s;
 }
 
@@ -34,6 +36,7 @@ Strategy ours() {
 Strategy naive() {
   Strategy s;
   s.name = "Naive";
+  s.optimize = false;  // "no optimization at all" includes the generic layer
   return s;
 }
 
@@ -56,6 +59,13 @@ Strategy ours_fusion_stash() {
   Strategy s = ours();
   s.name = "Ours(fusion+stash)";
   s.recompute = false;
+  return s;
+}
+
+Strategy ours_no_optimize() {
+  Strategy s = ours();
+  s.name = "Ours(-opt)";
+  s.optimize = false;
   return s;
 }
 
@@ -98,9 +108,17 @@ PassManager build_pipeline(const Strategy& s, bool training,
       }
       return g;
     });
-    if (s.recompute) {
-      pm.add("recompute", [](IrGraph g) { return recompute_pass(g); });
-    }
+  }
+  if (s.optimize) {
+    // Generic hygiene (CSE + DCE + simplify) between autodiff and the memory
+    // passes: duplicates merge before recompute decides what to clone, and
+    // recompute's intentional re-materialization is never un-done.
+    pm.add("optimize", [](IrGraph g, PassInfo& info) {
+      return optimize_pass(std::move(g), &info.rules);
+    });
+  }
+  if (training && s.recompute) {
+    pm.add("recompute", [](IrGraph g) { return recompute_pass(g); });
   }
   if (s.fusion != FusionMode::None) {
     FusionOptions fo;

@@ -32,6 +32,7 @@
 #include "ir/passes/pass_manager.h"
 #include "ir/passes/recompute.h"
 #include "ir/passes/reorg.h"
+#include "ir/passes/rewriter.h"
 #include "models/models.h"
 
 namespace triad {
@@ -43,6 +44,11 @@ struct Strategy {
   bool builtin_softmax = false;
   // Pass pipeline.
   bool reorg = false;
+  /// Generic graph optimizer (CSE + DCE + simplify, see ir/passes/rewriter.h),
+  /// run between autodiff and the memory passes. On by default; the baseline
+  /// presets modelling other systems switch it off, and ours_no_optimize()
+  /// exists as the ablation point.
+  bool optimize = true;
   FusionMode fusion = FusionMode::None;
   WorkMapping mapping = WorkMapping::VertexBalanced;
   bool recompute = false;
@@ -55,6 +61,7 @@ Strategy naive();
 Strategy ours_no_reorg();
 Strategy ours_no_fusion();
 Strategy ours_fusion_stash();  ///< fusion without recomputation (Fig. 10 middle)
+Strategy ours_no_optimize();   ///< generic optimizer off (compile-cost ablation)
 
 /// Compile-phase accounting: per-pass wall time (from the PassManager) plus
 /// the ExecutionPlan build time. The benchmark harness reports this

@@ -94,6 +94,29 @@ ExecutionPlan ExecutionPlan::compile(IrGraph ir, std::int64_t num_vertices,
     p.steps_[last_consumer[id]].free_after.push_back(id);
   }
 
+  // Schedule/free-list consistency: with passes that compact node ids (the
+  // rewriter's DCE renumbers the whole graph), a stale id here would become a
+  // silent use-after-free at run time. Every freed slot must have a producer
+  // that already ran, exactly one free point, and must not be an output or an
+  // externally-bound leaf.
+  {
+    std::vector<char> freed(n, 0);
+    for (int id = 0; id < n; ++id) {
+      for (int f : p.steps_[id].free_after) {
+        TRIAD_CHECK(f >= 0 && f < n, "free-list id " << f << " out of range");
+        TRIAD_CHECK(f <= id, "slot %" << f << " freed before step " << id);
+        TRIAD_CHECK(!freed[f], "slot %" << f << " freed twice");
+        freed[f] = 1;
+        TRIAD_CHECK(!p.is_output_[f], "output slot %" << f << " freed");
+        const OpKind k = ir.node(f).kind;
+        TRIAD_CHECK(k != OpKind::Input && k != OpKind::Param,
+                    "bound slot %" << f << " freed");
+        TRIAD_CHECK_EQ(last_consumer[f], id,
+                       "slot %" << f << " freed away from its last consumer");
+      }
+    }
+  }
+
   // Allocation schedule: FusedOut tensors materialize when their Fused node
   // runs; Input/Param are bound externally and counted as persistent.
   for (int id = 0; id < n; ++id) {

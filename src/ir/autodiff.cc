@@ -173,7 +173,10 @@ BackwardResult build_backward(IrGraph& g, int output) {
         const int y = node.inputs.size() > 1 ? node.inputs[1] : -1;
         switch (node.afn) {
           case ApplyFn::Linear: {
-            const Node& w = g.node(y);
+            // Copy the weight dims up front: the appends below reallocate
+            // the node vector, so a reference would dangle.
+            const std::int64_t w_rows = g.node(y).rows;
+            const std::int64_t w_cols = g.node(y).cols;
             if (needs[x]) {
               Node xg;
               xg.kind = OpKind::Apply;
@@ -192,8 +195,8 @@ BackwardResult build_backward(IrGraph& g, int output) {
               wg.kind = OpKind::Apply;
               wg.afn = ApplyFn::LinearWGrad;
               wg.space = Space::Param;
-              wg.rows = w.rows;
-              wg.cols = w.cols;
+              wg.rows = w_rows;
+              wg.cols = w_cols;
               wg.inputs = {x, grad};
               wg.wrow_lo = node.wrow_lo;
               wg.wrow_hi = node.wrow_hi;

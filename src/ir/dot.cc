@@ -12,6 +12,10 @@ const char* shape_of(const Node& n) {
   return n.space == Space::Edge ? "box" : "ellipse";
 }
 
+char space_letter(Space s) {
+  return s == Space::Vertex ? 'V' : s == Space::Edge ? 'E' : 'P';
+}
+
 std::string label_of(const Node& n, const IrGraph& g) {
   std::ostringstream os;
   os << "%" << n.id << " ";
@@ -25,10 +29,16 @@ std::string label_of(const Node& n, const IrGraph& g) {
     case OpKind::Fused:
       os << "fused[" << g.programs[n.program].phases.size() << " phases]";
       break;
-    case OpKind::FusedOut: os << "out" << n.out_index; break;
+    case OpKind::FusedOut:
+      os << (n.name.empty() ? "out" : n.name.c_str()) << " #" << n.out_index;
+      break;
     default: os << (n.name.empty() ? to_string(n.kind) : n.name);
   }
-  if (n.kind != OpKind::Fused) os << "\\nw=" << n.cols;
+  // Space and width annotation (rewriter-produced graphs mix spaces freely,
+  // so the letter matters for reading a dump).
+  if (n.kind != OpKind::Fused) {
+    os << "\\n" << space_letter(n.space) << "x" << n.cols;
+  }
   return os.str();
 }
 
@@ -47,7 +57,14 @@ std::string to_dot(const IrGraph& g, const std::string& title) {
   }
   for (const Node& n : g.nodes()) {
     for (int in : n.inputs) {
-      os << "  n" << in << " -> n" << n.id << ";\n";
+      os << "  n" << in << " -> n" << n.id;
+      // A Fused -> FusedOut edge is one named output of the program; label
+      // it so multi-output regions stay readable.
+      if (n.kind == OpKind::FusedOut) {
+        os << " [label=\"" << (n.name.empty() ? "out" : n.name) << " #"
+           << n.out_index << "\" fontsize=8]";
+      }
+      os << ";\n";
     }
   }
   for (int out : g.outputs) {

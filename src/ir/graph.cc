@@ -348,6 +348,32 @@ void IrGraph::validate(std::int64_t num_vertices, std::int64_t num_edges) const 
     if (n.kind == OpKind::Fused) {
       TRIAD_CHECK(n.program >= 0 && n.program < static_cast<int>(programs.size()),
                   "fused node " << n.id << " has no program");
+      // Cross-references must survive id compaction: every output slot and
+      // every instruction tensor operand has to name a live node.
+      const EdgeProgram& ep = programs[n.program];
+      for (const VertexOutput& vo : ep.vertex_outputs) {
+        TRIAD_CHECK(vo.node >= 0 && vo.node < size() &&
+                        node(vo.node).kind == OpKind::FusedOut,
+                    "program " << n.program << " vertex output " << vo.node
+                               << " is not a FusedOut");
+        TRIAD_CHECK_EQ(node(vo.node).inputs.at(0), n.id,
+                       "vertex output detached from its fused node");
+      }
+      for (const EdgeOutput& eo : ep.edge_outputs) {
+        TRIAD_CHECK(eo.node >= 0 && eo.node < size() &&
+                        node(eo.node).kind == OpKind::FusedOut,
+                    "program " << n.program << " edge output " << eo.node
+                               << " is not a FusedOut");
+      }
+      for (const EPPhase& ph : ep.phases) {
+        for (const EPInstr& in : ph.instrs) {
+          for (int t : {in.tensor, in.tensor2}) {
+            TRIAD_CHECK(t < size(), "program " << n.program
+                                               << " references node " << t
+                                               << " past the graph");
+          }
+        }
+      }
     }
   }
   for (int out : outputs) {

@@ -7,7 +7,26 @@
 
 namespace triad {
 
+namespace {
+
+PassManager::DumpFn& default_dump_hook() {
+  static PassManager::DumpFn hook;
+  return hook;
+}
+
+}  // namespace
+
+void PassManager::set_default_dump_hook(DumpFn fn) {
+  default_dump_hook() = std::move(fn);
+}
+
 PassManager& PassManager::add(std::string name, PassFn fn) {
+  TRIAD_CHECK(fn != nullptr, "pass '" << name << "' has no body");
+  return add(std::move(name),
+             [fn = std::move(fn)](IrGraph g, PassInfo&) { return fn(std::move(g)); });
+}
+
+PassManager& PassManager::add(std::string name, InstrumentedPassFn fn) {
   TRIAD_CHECK(fn != nullptr, "pass '" << name << "' has no body");
   passes_.push_back({std::move(name), std::move(fn)});
   return *this;
@@ -16,14 +35,16 @@ PassManager& PassManager::add(std::string name, PassFn fn) {
 IrGraph PassManager::run(IrGraph ir) {
   report_.clear();
   report_.reserve(passes_.size());
+  const DumpFn& dump = dump_ ? dump_ : default_dump_hook();
   for (const RegisteredPass& pass : passes_) {
     PassInfo info;
     info.name = pass.name;
     info.nodes_before = ir.size();
     Timer timer;
-    ir = pass.fn(std::move(ir));
+    ir = pass.fn(std::move(ir), info);
     info.seconds = timer.seconds();
     info.nodes_after = ir.size();
+    if (dump) dump(info.name, ir);
     report_.push_back(std::move(info));
     ++global_counters().ir_passes;
   }
@@ -54,6 +75,12 @@ std::string PassManager::summary() const {
                   p.name.c_str(), p.seconds * 1e3, p.nodes_before,
                   p.nodes_after);
     out += buf;
+    for (const RuleStat& r : p.rules) {
+      if (r.hits == 0) continue;
+      std::snprintf(buf, sizeof buf, "  %-12s %llu hits\n", r.rule.c_str(),
+                    static_cast<unsigned long long>(r.hits));
+      out += buf;
+    }
   }
   std::snprintf(buf, sizeof buf, "%-12s %8.3f ms\n", "total",
                 total_seconds() * 1e3);

@@ -1,11 +1,16 @@
 // PassManager: the compile-time pipeline driver.
 //
-// Passes (reorg, autodiff, recompute, fusion, …) are registered by name and
-// run front-to-back over an IrGraph, each one consuming the previous result.
-// The manager records per-pass wall time and node-count deltas — the numbers
-// a compile-vs-run breakdown reports — and charges every pass execution to
+// Passes (reorg, autodiff, optimize, recompute, fusion, …) are registered by
+// name and run front-to-back over an IrGraph, each one consuming the previous
+// result. The manager records per-pass wall time, node-count deltas, and —
+// for rewriter-based passes — per-rule hit counters; these are the numbers a
+// compile-vs-run breakdown reports. Every pass execution is charged to
 // PerfCounters::ir_passes, so a counter delta of zero over a window proves no
 // compilation happened inside it (the plan-reuse guarantee).
+//
+// A dump hook can observe the IR after every pass (one DOT file per pipeline
+// stage is the bench harness's --dump-ir flag); the process-wide default hook
+// exists so a harness can observe pipelines it does not assemble itself.
 //
 // The manager itself is policy-free: which passes run, and in what order, is
 // decided by whoever assembles the pipeline (see compile_model in
@@ -17,6 +22,7 @@
 #include <vector>
 
 #include "ir/graph.h"
+#include "ir/passes/rule_stat.h"
 
 namespace triad {
 
@@ -26,18 +32,30 @@ struct PassInfo {
   double seconds = 0.0;
   int nodes_before = 0;
   int nodes_after = 0;
+  /// Per-rule hit counters, filled by passes built on the Rewriter (empty
+  /// for monolithic passes).
+  std::vector<RuleStat> rules;
 };
 
 class PassManager {
  public:
   /// A pass consumes a graph and returns the rewritten graph.
   using PassFn = std::function<IrGraph(IrGraph)>;
+  /// An instrumented pass additionally fills its own PassInfo (rule stats).
+  /// Timing and node counts are still recorded by the manager.
+  using InstrumentedPassFn = std::function<IrGraph(IrGraph, PassInfo&)>;
+  /// Observer invoked after every executed pass with the pass name and the
+  /// graph it produced.
+  using DumpFn = std::function<void(const std::string&, const IrGraph&)>;
 
   /// Registers a pass at the end of the pipeline. Returns *this for chaining.
   PassManager& add(std::string name, PassFn fn);
+  PassManager& add(std::string name, InstrumentedPassFn fn);
 
   /// Runs every registered pass in order. Records one PassInfo per pass and
-  /// charges PerfCounters::ir_passes once per pass executed.
+  /// charges PerfCounters::ir_passes once per pass executed. After each pass
+  /// the dump hook (instance hook, else the process default) observes the
+  /// result.
   IrGraph run(IrGraph ir);
 
   /// Records a non-IR compile activity (e.g. graph partitioning, plan
@@ -46,21 +64,29 @@ class PassManager {
   /// Charges PerfCounters::ir_passes like a pass — it is compile-time work.
   void note(std::string name, double seconds, int nodes = 0);
 
+  /// Installs an after-each-pass observer on this manager.
+  void set_dump_hook(DumpFn fn) { dump_ = std::move(fn); }
+  /// Process-wide fallback observer, used by managers without an instance
+  /// hook (the bench harness's --dump-ir). Set once before compiling; not
+  /// synchronized against concurrent compilation.
+  static void set_default_dump_hook(DumpFn fn);
+
   /// Per-pass records of the most recent run().
   const std::vector<PassInfo>& report() const { return report_; }
   double total_seconds() const;
   int num_passes() const { return static_cast<int>(passes_.size()); }
 
-  /// Human-readable per-pass table (name, time, node delta).
+  /// Human-readable per-pass table (name, time, node delta, rule hits).
   std::string summary() const;
 
  private:
   struct RegisteredPass {
     std::string name;
-    PassFn fn;
+    InstrumentedPassFn fn;
   };
   std::vector<RegisteredPass> passes_;
   std::vector<PassInfo> report_;
+  DumpFn dump_;
 };
 
 }  // namespace triad

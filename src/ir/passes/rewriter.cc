@@ -1,0 +1,579 @@
+#include "ir/passes/rewriter.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <numeric>
+#include <unordered_map>
+
+#include "support/counters.h"
+
+namespace triad {
+
+// --- RewriteCtx -------------------------------------------------------------
+
+int RewriteCtx::consumers(int id) const {
+  if (dirty_) {
+    counts_.assign(g_.size(), 0);
+    is_output_.assign(g_.size(), 0);
+    for (const Node& n : g_.nodes()) {
+      for (int i : n.inputs) ++counts_[resolve_(i)];
+    }
+    for (int o : g_.outputs) is_output_[resolve_(o)] = 1;
+    dirty_ = false;
+  }
+  return counts_.at(id);
+}
+
+bool RewriteCtx::is_output(int id) const {
+  consumers(id);  // refresh caches
+  return is_output_.at(id) != 0;
+}
+
+namespace {
+
+// --- structural hashing (CSE) -----------------------------------------------
+
+/// Byte-packed structural identity of a node: every semantic field plus the
+/// (canonicalized) input ids. Names are cosmetic and excluded; `rows` is
+/// included defensively although it is derivable for well-formed graphs.
+std::string structural_key(const Node& n) {
+  std::string k;
+  k.reserve(96);
+  const auto push = [&k](std::int64_t v) {
+    k.append(reinterpret_cast<const char*>(&v), sizeof v);
+  };
+  push(static_cast<std::int64_t>(n.kind));
+  push(static_cast<std::int64_t>(n.space));
+  push(n.rows);
+  push(n.cols);
+  push(static_cast<std::int64_t>(n.sfn));
+  push(static_cast<std::int64_t>(n.rfn));
+  push(static_cast<std::int64_t>(n.afn));
+  push(static_cast<std::int64_t>(n.spfn));
+  push(n.reverse ? 1 : 0);
+  std::int32_t alpha_bits = 0;
+  std::memcpy(&alpha_bits, &n.alpha, sizeof alpha_bits);
+  push(alpha_bits);
+  push(n.heads);
+  push(n.wrow_lo);
+  push(n.wrow_hi);
+  push(n.slice_lo);
+  push(n.slice_hi);
+  push(n.requires_grad ? 1 : 0);
+  push(n.program);
+  push(n.out_index);
+  for (int i : n.inputs) push(i);
+  return k;
+}
+
+// --- DCE + id compaction ----------------------------------------------------
+
+/// Remaps every IR-node reference inside a program through `fn`. Instruction
+/// `tensor`/`tensor2` fields are node ids for every op that uses them
+/// (Load*/StoreE/MaxBwdMask/Gauss); `acc` is an index, not a node.
+template <typename Fn>
+void remap_program_nodes(EdgeProgram& ep, Fn&& fn) {
+  for (EPPhase& ph : ep.phases) {
+    for (EPInstr& in : ph.instrs) {
+      if (in.tensor >= 0) in.tensor = fn(in.tensor);
+      if (in.tensor2 >= 0) in.tensor2 = fn(in.tensor2);
+    }
+  }
+  for (VertexOutput& vo : ep.vertex_outputs) vo.node = fn(vo.node);
+  for (EdgeOutput& eo : ep.edge_outputs) eo.node = fn(eo.node);
+}
+
+/// Instruction-level pruning of one live program: outputs whose FusedOut node
+/// is dead lose their Reduce/StoreE and the register chain feeding only them.
+/// A LoadAcc in a surviving instruction revives the vertex output it reads
+/// (its FusedOut must stay allocated — the VM reads the materialized slot),
+/// which is sound because LoadAcc only ever references earlier phases.
+void prune_program(EdgeProgram& ep, std::vector<char>& live,
+                   DceStats* stats) {
+  std::vector<char> keep_vo(ep.vertex_outputs.size(), 0);
+  std::vector<char> keep_eo(ep.edge_outputs.size(), 0);
+  for (std::size_t i = 0; i < ep.vertex_outputs.size(); ++i) {
+    keep_vo[i] = live[ep.vertex_outputs[i].node];
+  }
+  for (std::size_t j = 0; j < ep.edge_outputs.size(); ++j) {
+    keep_eo[j] = live[ep.edge_outputs[j].node];
+  }
+  const auto vo_index_of = [&](int node) {
+    for (std::size_t i = 0; i < ep.vertex_outputs.size(); ++i) {
+      if (ep.vertex_outputs[i].node == node) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  const auto eo_index_of = [&](int node) {
+    for (std::size_t j = 0; j < ep.edge_outputs.size(); ++j) {
+      if (ep.edge_outputs[j].node == node) return static_cast<int>(j);
+    }
+    return -1;
+  };
+
+  // Phase-reverse liveness sweep. Registers are phase-local (each phase is a
+  // self-contained edge expression), so reg liveness resets per phase.
+  std::vector<std::vector<char>> keep_instr(ep.phases.size());
+  for (int p = static_cast<int>(ep.phases.size()) - 1; p >= 0; --p) {
+    const EPPhase& ph = ep.phases[p];
+    keep_instr[p].assign(ph.instrs.size(), 0);
+    std::vector<char> reg_live(std::max(ep.num_regs, 1), 0);
+    for (int i = static_cast<int>(ph.instrs.size()) - 1; i >= 0; --i) {
+      const EPInstr& in = ph.instrs[i];
+      bool needed = false;
+      if (in.op == EPOp::Reduce) {
+        needed = in.acc >= 0 && keep_vo[in.acc];
+      } else if (in.op == EPOp::StoreE) {
+        const int j = eo_index_of(in.tensor);
+        needed = j >= 0 && keep_eo[j];
+      } else {
+        needed = in.dst >= 0 && reg_live[in.dst];
+      }
+      if (!needed) {
+        if ((in.op == EPOp::Reduce || in.op == EPOp::StoreE) &&
+            stats != nullptr) {
+          ++stats->dropped_stores;
+        }
+        continue;
+      }
+      keep_instr[p][i] = 1;
+      if (in.a >= 0) reg_live[in.a] = 1;
+      if (in.b >= 0) reg_live[in.b] = 1;
+      if (in.op == EPOp::LoadAcc) {
+        const int vi = vo_index_of(in.tensor);
+        TRIAD_CHECK_GE(vi, 0, "LoadAcc references a foreign vertex output");
+        keep_vo[vi] = 1;
+        live[in.tensor] = 1;  // the slot must exist for the VM to read
+      }
+    }
+  }
+
+  // Rebuild phases (dropping now-empty ones), vertex/edge output tables and
+  // the Reduce acc indices against the pruned layout.
+  std::vector<int> vo_remap(ep.vertex_outputs.size(), -1);
+  std::vector<VertexOutput> new_vo;
+  for (std::size_t i = 0; i < ep.vertex_outputs.size(); ++i) {
+    if (!keep_vo[i]) continue;
+    vo_remap[i] = static_cast<int>(new_vo.size());
+    new_vo.push_back(ep.vertex_outputs[i]);
+  }
+  std::vector<EdgeOutput> new_eo;
+  for (std::size_t j = 0; j < ep.edge_outputs.size(); ++j) {
+    if (keep_eo[j]) new_eo.push_back(ep.edge_outputs[j]);
+  }
+  std::vector<int> phase_remap(ep.phases.size(), -1);
+  std::vector<EPPhase> new_phases;
+  for (std::size_t p = 0; p < ep.phases.size(); ++p) {
+    EPPhase np;
+    for (std::size_t i = 0; i < ep.phases[p].instrs.size(); ++i) {
+      if (!keep_instr[p][i]) continue;
+      EPInstr in = ep.phases[p].instrs[i];
+      if (in.op == EPOp::Reduce) in.acc = vo_remap[in.acc];
+      np.instrs.push_back(in);
+    }
+    if (np.instrs.empty()) continue;
+    phase_remap[p] = static_cast<int>(new_phases.size());
+    new_phases.push_back(std::move(np));
+  }
+  for (VertexOutput& vo : new_vo) {
+    TRIAD_CHECK_GE(phase_remap[vo.phase], 0, "vertex output lost its phase");
+    vo.phase = phase_remap[vo.phase];
+  }
+  ep.phases = std::move(new_phases);
+  ep.vertex_outputs = std::move(new_vo);
+  ep.edge_outputs = std::move(new_eo);
+}
+
+IrGraph compact_graph(const IrGraph& in, bool keep_bound, DceStats* stats) {
+  const int n = in.size();
+
+  // 1. Reachability from the outputs (plus externally-bound leaves).
+  std::vector<char> live(n, 0);
+  std::vector<int> work;
+  const auto mark = [&](int id) {
+    if (!live[id]) {
+      live[id] = 1;
+      work.push_back(id);
+    }
+  };
+  for (int o : in.outputs) mark(o);
+  if (keep_bound) {
+    for (const Node& nd : in.nodes()) {
+      if (nd.kind == OpKind::Input || nd.kind == OpKind::Param) mark(nd.id);
+    }
+  }
+  while (!work.empty()) {
+    const int id = work.back();
+    work.pop_back();
+    for (int i : in.node(id).inputs) mark(i);
+  }
+
+  // 2. Prune live programs at instruction level (may revive LoadAcc-read
+  //    FusedOuts into `live`). Each program is processed once, against the
+  //    union of liveness over the Fused nodes that reference it.
+  std::vector<EdgeProgram> progs = in.programs;
+  std::vector<char> prog_live(progs.size(), 0);
+  for (const Node& nd : in.nodes()) {
+    if (nd.kind == OpKind::Fused && live[nd.id]) prog_live[nd.program] = 1;
+  }
+  for (std::size_t p = 0; p < progs.size(); ++p) {
+    if (prog_live[p]) prune_program(progs[p], live, stats);
+  }
+
+  // Pruning may have dropped program outputs; renumber the surviving
+  // FusedOuts of each fused node consecutively (in original out_index
+  // order) so out_index keeps matching "which program output" after DCE.
+  std::vector<int> new_out_index(n, -1);
+  for (const Node& nd : in.nodes()) {
+    if (nd.kind != OpKind::Fused || !live[nd.id]) continue;
+    const EdgeProgram& ep = progs[nd.program];
+    std::vector<int> outs;
+    for (const VertexOutput& vo : ep.vertex_outputs) outs.push_back(vo.node);
+    for (const EdgeOutput& eo : ep.edge_outputs) outs.push_back(eo.node);
+    std::sort(outs.begin(), outs.end(), [&](int a, int b) {
+      return in.node(a).out_index < in.node(b).out_index;
+    });
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+      new_out_index[outs[i]] = static_cast<int>(i);
+    }
+  }
+
+  // 3. Rebuild with dense ids, in original order (order is already
+  //    topological and replacement targets always precede their uses).
+  IrGraph out;
+  std::vector<int> remap(n, -1);
+  std::vector<int> prog_remap(progs.size(), -1);
+  std::vector<int> placed_programs;  // new index -> old index
+  for (const Node& nd : in.nodes()) {
+    if (!live[nd.id]) {
+      if (stats != nullptr) ++stats->dropped_nodes;
+      continue;
+    }
+    Node copy = nd;
+    copy.inputs.clear();
+    if (nd.kind == OpKind::Fused) {
+      if (prog_remap[nd.program] < 0) {
+        prog_remap[nd.program] = static_cast<int>(placed_programs.size());
+        placed_programs.push_back(nd.program);
+      }
+      // External inputs recomputed from the pruned program: every referenced
+      // node that is not one of its own outputs (fusion.cc invariant).
+      const EdgeProgram& ep = progs[nd.program];
+      std::vector<char> own(n, 0);
+      for (const VertexOutput& vo : ep.vertex_outputs) own[vo.node] = 1;
+      for (const EdgeOutput& eo : ep.edge_outputs) own[eo.node] = 1;
+      for (const EPPhase& ph : ep.phases) {
+        for (const EPInstr& insn : ph.instrs) {
+          for (int t : {insn.tensor, insn.tensor2}) {
+            if (t < 0 || own[t]) continue;
+            TRIAD_CHECK_GE(remap[t], 0, "dce dropped a fused-program input");
+            if (std::find(copy.inputs.begin(), copy.inputs.end(), remap[t]) ==
+                copy.inputs.end()) {
+              copy.inputs.push_back(remap[t]);
+            }
+          }
+        }
+      }
+      std::sort(copy.inputs.begin(), copy.inputs.end());
+      copy.program = prog_remap[nd.program];
+    } else {
+      for (int i : nd.inputs) {
+        TRIAD_CHECK_GE(remap[i], 0, "dce remap hole at %" << i);
+        copy.inputs.push_back(remap[i]);
+      }
+      if (nd.kind == OpKind::FusedOut && new_out_index[nd.id] >= 0) {
+        copy.out_index = new_out_index[nd.id];
+      }
+    }
+    remap[nd.id] = out.append(std::move(copy));
+    if (nd.id == in.backward_start) out.backward_start = remap[nd.id];
+  }
+  // backward_start fell on a dropped node: the boundary moves to the first
+  // surviving backward-side node (or clears for all-forward graphs).
+  if (in.backward_start >= 0 && out.backward_start < 0) {
+    for (int id = in.backward_start; id < n; ++id) {
+      if (live[id]) {
+        out.backward_start = remap[id];
+        break;
+      }
+    }
+  }
+
+  out.programs.reserve(placed_programs.size());
+  for (int old_p : placed_programs) {
+    EdgeProgram ep = std::move(progs[old_p]);
+    remap_program_nodes(ep, [&](int id) {
+      TRIAD_CHECK_GE(remap[id], 0, "dce dropped a program-referenced node");
+      return remap[id];
+    });
+    out.programs.push_back(std::move(ep));
+  }
+  if (stats != nullptr) {
+    stats->dropped_programs +=
+        static_cast<int>(progs.size() - placed_programs.size());
+  }
+
+  for (int o : in.outputs) {
+    TRIAD_CHECK_GE(remap[o], 0, "dce dropped an output");
+    out.mark_output(remap[o]);
+  }
+  return out;
+}
+
+}  // namespace
+
+// --- Rewriter ---------------------------------------------------------------
+
+Rewriter& Rewriter::add_rule(std::string name, ApplyFn apply, BeginFn begin) {
+  TRIAD_CHECK(apply != nullptr, "rule '" << name << "' has no body");
+  rules_.push_back({std::move(name), std::move(apply), std::move(begin)});
+  return *this;
+}
+
+IrGraph Rewriter::run(IrGraph g, const Options& opts) {
+  stats_.clear();
+  stats_.reserve(rules_.size());
+  for (const Rule& r : rules_) stats_.push_back({r.name, 0});
+  budget_exhausted_ = false;
+  std::uint64_t remaining = opts.max_rewrites;
+
+  for (int round = 0; round < opts.max_rounds; ++round) {
+    bool changed = false;
+    bool restart = true;
+    while (restart && !budget_exhausted_) {
+      restart = false;
+      for (const Rule& r : rules_) {
+        if (r.begin) r.begin(g);
+      }
+      // Replacement map of this sweep; inputs are resolved through it before
+      // rules run, so chains of replacements collapse as the sweep advances.
+      std::vector<int> canon(g.size());
+      std::iota(canon.begin(), canon.end(), 0);
+      const auto resolve = [&canon](int id) {
+        while (canon[id] != id) id = canon[id];
+        return id;
+      };
+      RewriteCtx ctx(g, resolve);
+      for (int id = 0; id < g.size() && !restart; ++id) {
+        Node& nd = g.node_mut(id);
+        for (int& i : nd.inputs) i = resolve(i);
+        if (nd.kind == OpKind::Fused) {
+          remap_program_nodes(g.programs.at(nd.program), resolve);
+        }
+        for (std::size_t ri = 0; ri < rules_.size(); ++ri) {
+          if (remaining == 0) {
+            budget_exhausted_ = true;
+            break;
+          }
+          RewriteResult res;
+          rules_[ri].apply(g, id, ctx, res);
+          if (!res.changed) continue;
+          --remaining;
+          ++stats_[ri].hits;
+          ++global_counters().graph_rewrites;
+          changed = true;
+          ctx.invalidate();
+          if (res.replace_with >= 0) {
+            TRIAD_CHECK(res.replace_with < id,
+                        "rule '" << rules_[ri].name
+                                 << "' replacement must precede the node");
+            canon[id] = res.replace_with;
+            break;  // the node is dead; stop offering it to rules
+          }
+          if (res.touched_earlier) {
+            restart = true;  // stale hash-cons/consumer state: resweep
+            break;
+          }
+        }
+        if (budget_exhausted_) break;
+      }
+      for (int& o : g.outputs) o = resolve(o);
+    }
+    if (opts.prune && changed) {
+      g = compact_graph(g, opts.keep_bound, nullptr);
+    }
+    if (!changed || budget_exhausted_) break;
+  }
+  return g;
+}
+
+// --- canonical rules --------------------------------------------------------
+
+void add_cse_rule(Rewriter& rw) {
+  auto seen = std::make_shared<std::unordered_map<std::string, int>>();
+  rw.add_rule(
+      "cse",
+      [seen](IrGraph& g, int id, const RewriteCtx&, RewriteResult& res) {
+        const Node& n = g.node(id);
+        switch (n.kind) {
+          case OpKind::Scatter:
+          case OpKind::Gather:
+          case OpKind::Apply:
+          case OpKind::Special:
+            break;  // pure functions of their inputs: hash-consable
+          default:
+            return;  // Input/Param keep identity; Fused/FusedOut are skipped
+        }
+        const auto [it, inserted] = seen->emplace(structural_key(n), id);
+        if (inserted) return;
+        res.changed = true;
+        res.replace_with = it->second;
+      },
+      [seen](const IrGraph&) { seen->clear(); });
+}
+
+namespace {
+
+bool is_apply(const Node& n, ApplyFn fn) {
+  return n.kind == OpKind::Apply && n.afn == fn;
+}
+
+/// Does negation commute exactly through this op (per IEEE-754, including
+/// the empty-reduction case)? Pure routing/summation ops qualify: copies
+/// move bits, and fl(-x - y) == -fl(x + y) for every rounding mode that is
+/// sign-symmetric (all of them).
+bool sign_commutes(const Node& n) {
+  switch (n.kind) {
+    case OpKind::Scatter:
+      return n.sfn == ScatterFn::CopyU || n.sfn == ScatterFn::CopyV;
+    case OpKind::Gather:
+      return n.rfn == ReduceFn::Sum;
+    case OpKind::Special:
+      return n.spfn == SpecialFn::GatherMaxBwd;  // routes values / writes 0
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+void add_simplify_rules(Rewriter& rw) {
+  rw.add_rule("identity",
+              [](IrGraph& g, int id, const RewriteCtx&, RewriteResult& res) {
+                const Node& n = g.node(id);
+                if (!is_apply(n, ApplyFn::Identity)) return;
+                res.changed = true;
+                res.replace_with = n.inputs[0];
+              });
+  rw.add_rule("scale-one",
+              [](IrGraph& g, int id, const RewriteCtx&, RewriteResult& res) {
+                const Node& n = g.node(id);
+                if (!is_apply(n, ApplyFn::Scale) || n.alpha != 1.f) return;
+                res.changed = true;
+                res.replace_with = n.inputs[0];
+              });
+  rw.add_rule("slice-noop",
+              [](IrGraph& g, int id, const RewriteCtx&, RewriteResult& res) {
+                const Node& n = g.node(id);
+                if (!is_apply(n, ApplyFn::SliceCols)) return;
+                if (n.slice_lo != 0 || n.slice_hi != g.node(n.inputs[0]).cols) {
+                  return;
+                }
+                res.changed = true;
+                res.replace_with = n.inputs[0];
+              });
+  rw.add_rule("neg-neg",
+              [](IrGraph& g, int id, const RewriteCtx&, RewriteResult& res) {
+                const Node& n = g.node(id);
+                if (!is_apply(n, ApplyFn::Neg)) return;
+                const Node& inner = g.node(n.inputs[0]);
+                if (!is_apply(inner, ApplyFn::Neg)) return;
+                res.changed = true;
+                res.replace_with = inner.inputs[0];
+              });
+  rw.add_rule(
+      "neg-fold",
+      [](IrGraph& g, int id, const RewriteCtx& ctx, RewriteResult& res) {
+        Node& n = g.node_mut(id);
+        const bool is_add = is_apply(n, ApplyFn::Add);
+        const bool is_sub = is_apply(n, ApplyFn::Sub);
+        if ((!is_add && !is_sub) || n.inputs.size() != 2) return;
+        const auto neg_arg = [&g](int i) {
+          const Node& m = g.node(i);
+          return is_apply(m, ApplyFn::Neg) ? m.inputs[0] : -1;
+        };
+        // Direct folds. The Neg stays behind for any other consumers and
+        // dies in the round's DCE sweep otherwise.
+        if (const int x = neg_arg(n.inputs[1]); x >= 0) {
+          n.afn = is_add ? ApplyFn::Sub : ApplyFn::Add;
+          n.inputs[1] = x;
+          res.changed = true;
+          return;
+        }
+        if (is_add) {
+          if (const int x = neg_arg(n.inputs[0]); x >= 0) {
+            n.afn = ApplyFn::Sub;
+            n.inputs = {n.inputs[1], x};
+            res.changed = true;
+            return;
+          }
+        }
+        // Chain fold: the second operand is a single-consumer chain of
+        // sign-commuting routing ops ending in a Neg (the exact shape
+        // autodiff emits for Sub / CopyV backward). Splice the Neg out and
+        // flip the accumulation op; every chain value flips sign, which is
+        // safe precisely because each link has this node as sole transitive
+        // consumer and is not a graph output.
+        int cur = n.inputs[1];
+        int tail = -1;  // deepest chain node (its input gets respliced)
+        for (int depth = 0; depth < 4; ++depth) {
+          if (ctx.consumers(cur) != 1 || ctx.is_output(cur)) return;
+          const Node& m = g.node(cur);
+          if (const int x = neg_arg(cur); x >= 0) {
+            if (tail < 0) return;  // direct case already handled above
+            g.node_mut(tail).inputs[0] = x;
+            n.afn = is_add ? ApplyFn::Sub : ApplyFn::Add;
+            res.changed = true;
+            res.touched_earlier = true;
+            return;
+          }
+          if (!sign_commutes(m)) return;
+          tail = cur;
+          cur = m.inputs[0];
+        }
+      });
+}
+
+// --- passes -----------------------------------------------------------------
+
+IrGraph dce_pass(const IrGraph& g, bool keep_bound, DceStats* stats) {
+  return compact_graph(g, keep_bound, stats);
+}
+
+namespace {
+
+IrGraph run_and_collect(Rewriter& rw, IrGraph g, std::vector<RuleStat>* stats,
+                        const RewriteOptions& opts) {
+  g = rw.run(std::move(g), opts);
+  if (stats != nullptr) {
+    stats->insert(stats->end(), rw.stats().begin(), rw.stats().end());
+  }
+  return g;
+}
+
+}  // namespace
+
+IrGraph cse_pass(IrGraph g, std::vector<RuleStat>* stats) {
+  Rewriter rw;
+  add_cse_rule(rw);
+  return run_and_collect(rw, std::move(g), stats, {});
+}
+
+IrGraph simplify_pass(IrGraph g, std::vector<RuleStat>* stats) {
+  Rewriter rw;
+  add_simplify_rules(rw);
+  return run_and_collect(rw, std::move(g), stats, {});
+}
+
+IrGraph optimize_pass(IrGraph g, std::vector<RuleStat>* stats,
+                      const RewriteOptions& opts) {
+  Rewriter rw;
+  // Simplify first so canonicalized forms feed the hash-cons map; CSE last
+  // so a node a simplify rule replaced is never recorded as a CSE target.
+  add_simplify_rules(rw);
+  add_cse_rule(rw);
+  return run_and_collect(rw, std::move(g), stats, opts);
+}
+
+}  // namespace triad

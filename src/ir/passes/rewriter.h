@@ -1,0 +1,179 @@
+// Pattern-rewrite framework over IrGraph, and the generic graph-optimizer
+// passes (CSE / DCE / Simplify) built on top of it.
+//
+// The paper's bespoke passes (reorg, autodiff, recompute, fusion) know GNN
+// semantics; this layer is classic compiler hygiene underneath them. Autodiff
+// in particular emits duplicated routing subexpressions (repeated
+// Scatter/Gather of the same tensor) and sign-flip chains that every epoch
+// and every served request then executes; hash-consing and peephole rules
+// shrink the graph before recompute/fusion ever see it, so every downstream
+// artifact (EdgeProgram, ExecutionPlan schedule, free-lists) gets leaner.
+//
+// Design: a Rewriter owns an ordered list of named rules. run() sweeps the
+// graph in topological order; at each node, input ids are first resolved
+// through the round's replacement map (so hash-consing cascades bottom-up in
+// a single sweep), then every rule is offered the node. A rule either
+//  * mutates the node in place (operator/operand peephole; new inputs must
+//    keep ids < id), or
+//  * redirects all uses of the node to an existing earlier node
+//    (RewriteResult::replace_with — CSE, Identity elision), or
+//  * splices nodes further up a single-consumer chain
+//    (RewriteResult::touched_earlier — the sweep restarts so hash-cons maps
+//    and consumer counts never observe stale structure).
+// After every changed round the graph is compacted: nodes unreachable from
+// the outputs are dropped and ids are renumbered densely (DCE). Rounds
+// repeat to fixpoint under two budgets (max_rounds, max_rewrites), so an
+// adversarial rule pair that rewrites A→B→A terminates deterministically.
+// Every applied rewrite bumps the rule's hit counter and charges
+// PerfCounters::graph_rewrites — compile-time work is never invisible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/graph.h"
+#include "ir/passes/rule_stat.h"
+
+namespace triad {
+
+/// Read-mostly helper state handed to rules. Consumer counts are rebuilt
+/// lazily after every applied rewrite, so chain rules can gate on
+/// single-consumer links without observing stale topology.
+class RewriteCtx {
+ public:
+  /// `resolve` maps a node id through the sweep's pending replacements, so
+  /// counts stay accurate even for inputs the sweep has not canonicalized in
+  /// place yet (a later node still naming a CSE-merged duplicate counts
+  /// against the merge target, not the dead duplicate).
+  RewriteCtx(const IrGraph& g, std::function<int(int)> resolve)
+      : g_(g), resolve_(std::move(resolve)) {}
+
+  /// Number of nodes consuming `id` (post-replacement view).
+  int consumers(int id) const;
+  /// Is `id` one of the graph's outputs (its value is externally observable,
+  /// so chain rules must not change it)?
+  bool is_output(int id) const;
+  /// Invalidates cached counts (called by the framework after every hit).
+  void invalidate() { dirty_ = true; }
+
+ private:
+  const IrGraph& g_;
+  std::function<int(int)> resolve_;
+  mutable std::vector<int> counts_;
+  mutable std::vector<char> is_output_;
+  mutable bool dirty_ = true;
+};
+
+/// Outcome of one rule application at one node.
+struct RewriteResult {
+  bool changed = false;
+  /// >= 0: redirect every use of the inspected node to this (earlier) node;
+  /// the inspected node goes dead and the round's DCE sweep drops it.
+  int replace_with = -1;
+  /// The rule mutated a node with a smaller id (multi-node peephole): the
+  /// sweep restarts from the top with fresh rule state.
+  bool touched_earlier = false;
+};
+
+struct RewriteOptions {
+  int max_rounds = 12;  ///< fixpoint iteration cap
+  /// Total rewrite budget. Guarantees termination even for rule sets that
+  /// never reach a natural fixpoint (cyclic rewrite traps).
+  std::uint64_t max_rewrites = 1u << 20;
+  /// DCE roots include every Input/Param node, keeping externally-bound
+  /// leaves alive (the harness binds them by name after compilation). Unit
+  /// tests disable this to exercise orphaned-Param dropping.
+  bool keep_bound = true;
+  bool prune = true;  ///< run the DCE/compaction sweep after changed rounds
+};
+
+class Rewriter {
+ public:
+  /// Inspects node `id`. The node's inputs are already canonicalized against
+  /// this sweep's replacements when the rule runs.
+  using ApplyFn =
+      std::function<void(IrGraph&, int id, const RewriteCtx&, RewriteResult&)>;
+  /// Per-sweep rule state reset (e.g. clearing a hash-cons map).
+  using BeginFn = std::function<void(const IrGraph&)>;
+  using Options = RewriteOptions;
+
+  /// Registers a rule at the end of the list (rules run in order; a rule
+  /// that replaces the node stops the list for that node).
+  Rewriter& add_rule(std::string name, ApplyFn apply, BeginFn begin = {});
+
+  IrGraph run(IrGraph g, const Options& opts = {});
+
+  /// Per-rule hit counts of the most recent run().
+  const std::vector<RuleStat>& stats() const { return stats_; }
+  /// True when the last run() stopped on max_rewrites instead of a fixpoint.
+  bool budget_exhausted() const { return budget_exhausted_; }
+
+ private:
+  struct Rule {
+    std::string name;
+    ApplyFn apply;
+    BeginFn begin;
+  };
+  std::vector<Rule> rules_;
+  std::vector<RuleStat> stats_;
+  bool budget_exhausted_ = false;
+};
+
+// --- canonical rule sets ----------------------------------------------------
+
+/// Hash-consing CSE: structurally identical nodes (same kind/fn/attrs and
+/// canonicalized inputs — Scatter/Gather included, keyed on graph-op + fn +
+/// inputs) collapse to their first occurrence. Input/Param nodes keep their
+/// identity; Fused/FusedOut are skipped (program identity). Because inputs
+/// are canonicalized during the sweep, whole duplicate trees merge bottom-up
+/// in one round. This is also the forward-reuse rewire: a backward-side
+/// clone of a forward subexpression (e.g. a re-emitted Exp feeding ExpGrad)
+/// merges with the forward original instead of recomputing it.
+void add_cse_rule(Rewriter& rw);
+
+/// Algebraic peepholes, all bit-exact under IEEE-754:
+///  * identity   — Identity(x) -> x
+///  * scale-one  — Scale(x, alpha=1) -> x
+///  * slice-noop — SliceCols(x, 0, x.cols) -> x
+///  * neg-neg    — Neg(Neg(x)) -> x
+///  * neg-fold   — Add(a, Neg(x)) -> Sub(a, x) (and Sub(a, Neg(x)) ->
+///                 Add(a, x)); also folds a Neg separated from the Add by a
+///                 single-consumer chain of sign-commuting routing ops
+///                 (Scatter copy, Gather sum, GatherMaxBwd), the shape
+///                 autodiff emits for Sub/CopyV backward — eliminating one
+///                 |E|-row elementwise kernel per fold.
+void add_simplify_rules(Rewriter& rw);
+
+// --- passes -----------------------------------------------------------------
+
+struct DceStats {
+  int dropped_nodes = 0;
+  int dropped_programs = 0;  ///< EdgePrograms whose every output went dead
+  int dropped_stores = 0;    ///< Reduce/StoreE instrs pruned from live programs
+};
+
+/// Dead-code elimination + id compaction: drops every node unreachable from
+/// the graph outputs (plus Input/Param when keep_bound), renumbers ids
+/// densely, and remaps outputs/backward_start and every EdgeProgram node
+/// reference. Live fused programs are pruned at instruction level: a
+/// FusedOut with no remaining consumer loses its StoreE/Reduce instructions
+/// (and the dead register chain feeding them), and a program whose outputs
+/// all die is dropped with its Fused/FusedOut nodes.
+IrGraph dce_pass(const IrGraph& g, bool keep_bound = true,
+                 DceStats* stats = nullptr);
+
+/// Common-subexpression elimination to fixpoint (CSE rule + per-round DCE).
+IrGraph cse_pass(IrGraph g, std::vector<RuleStat>* stats = nullptr);
+
+/// Algebraic simplification to fixpoint (simplify rules + per-round DCE).
+IrGraph simplify_pass(IrGraph g, std::vector<RuleStat>* stats = nullptr);
+
+/// The full generic optimizer: simplify + CSE under one fixpoint loop with
+/// per-round DCE — the "optimize" stage of the compile pipeline (between
+/// autodiff and recompute, see baselines/strategy.cc).
+IrGraph optimize_pass(IrGraph g, std::vector<RuleStat>* stats = nullptr,
+                      const RewriteOptions& opts = {});
+
+}  // namespace triad

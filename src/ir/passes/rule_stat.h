@@ -1,0 +1,18 @@
+// Shared between the pass driver (pass_manager.h reports per-rule hits in
+// PassInfo) and the rewrite framework (rewriter.h produces them) without
+// coupling either header to the other.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace triad {
+
+/// Hit counter of one rewrite rule across a Rewriter::run — surfaced through
+/// PassInfo::rules into compile reports and bench JSON.
+struct RuleStat {
+  std::string rule;
+  std::uint64_t hits = 0;
+};
+
+}  // namespace triad

@@ -47,6 +47,7 @@ std::string PerfCounters::to_string() const {
          " onchip=" + human_bytes(onchip_bytes) +
          " combine=" + human_bytes(combine_bytes) +
          " passes=" + std::to_string(ir_passes) +
+         " rewrites=" + std::to_string(graph_rewrites) +
          " plans=" + std::to_string(plan_compiles);
 }
 

@@ -24,6 +24,7 @@ struct PerfCounters {
   std::uint64_t onchip_bytes = 0;      ///< traffic kept in registers/shared mem by fusion
   std::uint64_t combine_bytes = 0;     ///< boundary-combine traffic of sharded runs
   std::uint64_t ir_passes = 0;         ///< IR passes executed (compile-time work)
+  std::uint64_t graph_rewrites = 0;    ///< optimizer rule hits (compile-time work)
   std::uint64_t plan_compiles = 0;     ///< ExecutionPlans built (compile-time work)
 
   std::uint64_t io_bytes() const { return dram_read_bytes + dram_write_bytes; }
@@ -41,6 +42,7 @@ struct PerfCounters {
     r.onchip_bytes = onchip_bytes - o.onchip_bytes;
     r.combine_bytes = combine_bytes - o.combine_bytes;
     r.ir_passes = ir_passes - o.ir_passes;
+    r.graph_rewrites = graph_rewrites - o.graph_rewrites;
     r.plan_compiles = plan_compiles - o.plan_compiles;
     return r;
   }
@@ -53,6 +55,7 @@ struct PerfCounters {
     onchip_bytes += o.onchip_bytes;
     combine_bytes += o.combine_bytes;
     ir_passes += o.ir_passes;
+    graph_rewrites += o.graph_rewrites;
     plan_compiles += o.plan_compiles;
     return *this;
   }

@@ -66,8 +66,9 @@ void expect_equivalent(const RunResult& a, const RunResult& b,
 }
 
 std::vector<Strategy> all_strategies() {
-  return {naive(),          dgl_like(),          fusegnn_like(), ours(),
-          ours_no_reorg(),  ours_no_fusion(),    ours_fusion_stash()};
+  return {naive(),          dgl_like(),       fusegnn_like(),
+          ours(),           ours_no_reorg(),  ours_no_fusion(),
+          ours_fusion_stash(), ours_no_optimize()};
 }
 
 TEST(Equivalence, GatAllStrategiesAgree) {
@@ -189,6 +190,124 @@ TEST(Equivalence, EdgeBalancedMappingAgrees) {
   const RunResult a = run_strategy(ours(), build, g, features, labels);
   const RunResult b = run_strategy(eb, build, g, features, labels);
   expect_equivalent(a, b, "vertex- vs edge-balanced");
+}
+
+// --- optimizer on/off bit-identity ------------------------------------------
+//
+// The generic optimizer (CSE/DCE/simplify) may only remove work, never
+// change float semantics: every rewrite it applies is IEEE-exact. So for
+// every model, fused or unfused, sharded or not, the optimized pipeline must
+// produce the same logits and parameter-gradient values as the unoptimized
+// one — compared with exact float equality, not a tolerance.
+
+struct ModelCase {
+  std::string name;
+  std::function<ModelGraph(Rng&)> build;
+  std::int64_t in_dim = 0;
+  bool pseudo = false;
+};
+
+std::vector<ModelCase> optimizer_model_cases() {
+  std::vector<ModelCase> cases;
+  cases.push_back({"gcn",
+                   [](Rng& rng) {
+                     GcnConfig cfg;
+                     cfg.in_dim = 8;
+                     cfg.hidden = {12};
+                     cfg.num_classes = 4;
+                     return build_gcn(cfg, rng);
+                   },
+                   8, false});
+  cases.push_back({"gat",
+                   [](Rng& rng) {
+                     GatConfig cfg;
+                     cfg.in_dim = 10;
+                     cfg.hidden = 12;
+                     cfg.heads = 2;
+                     cfg.layers = 2;
+                     cfg.num_classes = 4;
+                     return build_gat(cfg, rng);
+                   },
+                   10, false});
+  cases.push_back({"monet",
+                   [](Rng& rng) {
+                     MoNetConfig cfg;
+                     cfg.in_dim = 6;
+                     cfg.hidden = 8;
+                     cfg.kernels = 2;
+                     cfg.pseudo_dim = 2;
+                     cfg.num_classes = 3;
+                     return build_monet(cfg, rng);
+                   },
+                   6, true});
+  cases.push_back({"edgeconv",
+                   [](Rng& rng) {
+                     EdgeConvConfig cfg;
+                     cfg.in_dim = 3;
+                     cfg.hidden = {8, 12};
+                     cfg.num_classes = 5;
+                     return build_edgeconv(cfg, rng);
+                   },
+                   3, false});
+  return cases;
+}
+
+void expect_exactly_equal(const Tensor& a, const Tensor& b,
+                          const std::string& label) {
+  ASSERT_EQ(a.rows(), b.rows()) << label;
+  ASSERT_EQ(a.cols(), b.cols()) << label;
+  EXPECT_EQ(ops::max_abs_diff(a, b), 0.f) << label;
+}
+
+TEST(Equivalence, OptimizerOnOffBitIdentical) {
+  Graph g = test_graph();
+  Rng drng(21);
+  const auto cases = optimizer_model_cases();
+  for (const ModelCase& mc : cases) {
+    Tensor features = Tensor::randn(g.num_vertices(), mc.in_dim, drng);
+    Tensor pseudo = mc.pseudo ? make_pseudo_coords(g, 2) : Tensor{};
+    IntTensor labels(g.num_vertices(), 1);
+    for (std::int64_t v = 0; v < g.num_vertices(); ++v) {
+      labels.at(v, 0) = static_cast<std::int32_t>(v % 3);
+    }
+    for (const bool fused : {true, false}) {
+      for (const int shards : {1, 4}) {
+        const Strategy base = fused ? ours() : ours_no_fusion();
+        Strategy on = base;
+        Strategy off = base;
+        off.optimize = false;
+
+        auto run = [&](const Strategy& s) {
+          Rng rng(4242);
+          Compiled c =
+              compile_model(mc.build(rng), s, /*training=*/true, g, shards);
+          MemoryPool pool;
+          Trainer trainer(std::move(c), g,
+                          features.clone(MemTag::kInput, &pool),
+                          pseudo.defined() ? pseudo.clone(MemTag::kInput, &pool)
+                                           : Tensor{},
+                          &pool);
+          trainer.train_step(labels, /*lr=*/0.f);
+          RunResult r;
+          r.logits = trainer.logits().clone();
+          for (int gnode : trainer.model().param_grads) {
+            r.grads.push_back(trainer.executor().result(gnode).clone());
+          }
+          return r;
+        };
+        const RunResult with = run(on);
+        const RunResult without = run(off);
+        const std::string label = mc.name + (fused ? "/fused" : "/unfused") +
+                                  "/K=" + std::to_string(shards);
+        expect_exactly_equal(with.logits, without.logits, label + " logits");
+        ASSERT_EQ(with.grads.size(), without.grads.size()) << label;
+        for (std::size_t i = 0; i < with.grads.size(); ++i) {
+          expect_exactly_equal(with.grads[i], without.grads[i],
+                               label + " grad " + std::to_string(i));
+        }
+      }
+    }
+  }
 }
 
 TEST(Equivalence, OursUsesLessStashMemoryOnGat) {

@@ -71,11 +71,14 @@ TEST(PassManager, CompileModelReportsFullPipeline) {
   cfg.num_classes = 3;
   Rng rng(5);
   Compiled c = compile_model(build_gcn(cfg, rng), ours(), /*training=*/true);
-  ASSERT_EQ(c.stats.passes.size(), 4u);
+  ASSERT_EQ(c.stats.passes.size(), 5u);
   EXPECT_EQ(c.stats.passes[0].name, "reorg");
   EXPECT_EQ(c.stats.passes[1].name, "autodiff");
-  EXPECT_EQ(c.stats.passes[2].name, "recompute");
-  EXPECT_EQ(c.stats.passes[3].name, "fusion");
+  EXPECT_EQ(c.stats.passes[2].name, "optimize");
+  EXPECT_EQ(c.stats.passes[3].name, "recompute");
+  EXPECT_EQ(c.stats.passes[4].name, "fusion");
+  // The optimizer reports its per-rule hit counters through PassInfo.
+  EXPECT_FALSE(c.stats.passes[2].rules.empty());
   // Autodiff appends the backward graph: node count must grow.
   EXPECT_GT(c.stats.passes[1].nodes_after, c.stats.passes[1].nodes_before);
   EXPECT_GE(c.stats.pass_seconds, 0.0);

@@ -19,13 +19,14 @@ namespace {
 
 Measurement run_mapping(const Graph& g, WorkMapping mapping, std::int64_t f,
                         int steps, unsigned seed) {
-  // A single fused Aggregate: out[v] = sum of relu(x[u] - x[v]).
-  IrGraph ir;
-  const int x = ir.input(Space::Vertex, 0, f, "x");
-  const int e = ir.scatter(ScatterFn::SubUV, x, x);
-  const int r = ir.apply_unary(ApplyFn::ReLU, e);
-  const int v = ir.gather(ReduceFn::Sum, r);
-  ir.mark_output(v);
+  // A single fused Aggregate: out[v] = sum of relu(x[u] - x[v]), built with
+  // the typed Value surface. This bench pins the *mapping* choice, which the
+  // Strategy presets deliberately don't expose per-kernel, so it drives
+  // fusion_pass and ExecutionPlan directly below the Engine.
+  api::GraphBuilder b;
+  const api::Value x = b.features(f, "x");
+  const api::Value v = api::gather_sum(api::relu(api::u_sub_v(x, x)));
+  IrGraph ir = std::move(b.finish(v).ir);
   FusionOptions fo;
   fo.preferred = mapping;
   IrGraph fused = fusion_pass(ir, fo);

@@ -21,19 +21,12 @@
 #include <atomic>
 #include <memory>
 
-#include "baselines/plan_cache.h"
-#include "baselines/strategy.h"
+#include "api/triad.h"
 #include "engine/device.h"
-#include "graph/datasets.h"
-#include "graph/knn.h"
 #include "graph/partition.h"
 #include "ir/dot.h"
 #include "ir/passes/pass_manager.h"
-#include "models/models.h"
-#include "models/trainer.h"
-#include "support/counters.h"
 #include "support/parallel.h"
-#include "support/rng.h"
 #include "support/timer.h"
 
 namespace triad::bench {
@@ -131,26 +124,40 @@ struct Measurement {
   int ir_nodes_after = 0;
 };
 
+/// The benches' compile path: one Engine invocation per (module, strategy)
+/// pair, threading the harness options (shards, seed) through CompileOptions.
+/// The result is the shared artifact every measured step executes.
+inline std::shared_ptr<const Compiled> engine_compile(
+    std::shared_ptr<const api::Module> module, const Strategy& s, bool training,
+    const Graph& g, const Options& opt) {
+  api::CompileOptions co;
+  co.strategy = s;
+  co.shards = opt.shards;
+  co.init_seed = opt.seed + 1;
+  return api::Engine(co).compile(std::move(module)).compiled(g, training);
+}
+
 /// Runs `steps` training (or forward-only) steps off the model's compiled
-/// plan and averages. The plan was built exactly once by compile_model; the
+/// plan and averages. The plan was built exactly once by the Engine; the
 /// step loop performs no pass or liveness work (Measurement::compile_seconds
 /// carries the one-time cost for separate reporting).
-inline Measurement measure_training(Compiled compiled, const Graph& g,
-                                    const Tensor& features, const Tensor& pseudo,
+inline Measurement measure_training(std::shared_ptr<const Compiled> compiled,
+                                    const Graph& g, const Tensor& features,
+                                    const Tensor& pseudo,
                                     const IntTensor& labels, int steps,
                                     bool training, MemoryPool* pool) {
   Measurement m;
-  m.compile_seconds = compiled.stats.total_seconds();
-  m.passes = compiled.stats.passes;
+  m.compile_seconds = compiled->stats.total_seconds();
+  m.passes = compiled->stats.passes;
   if (!m.passes.empty()) {
     m.ir_nodes_before = m.passes.front().nodes_before;
     m.ir_nodes_after = m.passes.back().nodes_after;
   }
-  if (compiled.partition != nullptr) {
-    m.shards = compiled.partition->num_shards();
-    m.shard_peak_bytes = compiled.plan->max_shard_peak_bytes();
+  if (compiled->partition != nullptr) {
+    m.shards = compiled->partition->num_shards();
+    m.shard_peak_bytes = compiled->plan->max_shard_peak_bytes();
   }
-  const bool has_pseudo = compiled.pseudo >= 0;
+  const bool has_pseudo = compiled->pseudo >= 0;
   Trainer trainer(std::move(compiled), g,
                   features.clone(MemTag::kInput, pool),
                   has_pseudo ? pseudo.clone(MemTag::kInput, pool) : Tensor{},

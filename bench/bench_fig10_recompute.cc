@@ -22,7 +22,6 @@ int main(int argc, char** argv) {
     Rng rng(opt.seed);
     Dataset data = make_dataset("reddit", rng, opt.reddit_scale, opt.feat_scale);
     auto run = [&](const Strategy& s) {
-      Rng mrng(opt.seed + 1);
       GatConfig cfg;
       cfg.in_dim = data.features.cols();
       cfg.hidden = 64;
@@ -31,7 +30,8 @@ int main(int argc, char** argv) {
       cfg.num_classes = data.num_classes;
       cfg.prereorganized = s.prereorganized_gat;
       cfg.builtin_softmax = s.builtin_softmax;
-      Compiled c = compile_model(build_gat(cfg, mrng), s, true, data.graph);
+      auto c = engine_compile(std::make_shared<api::Gat>(cfg), s, true,
+                              data.graph, opt);
       MemoryPool pool;
       return measure_training(std::move(c), data.graph, data.features, Tensor{},
                               data.labels, opt.steps, true, &pool);
@@ -47,7 +47,6 @@ int main(int argc, char** argv) {
     Dataset data = make_dataset("reddit", rng, opt.reddit_scale, opt.feat_scale);
     Tensor pseudo = make_pseudo_coords(data.graph, 1);
     auto run = [&](const Strategy& s) {
-      Rng mrng(opt.seed + 1);
       MoNetConfig cfg;
       cfg.in_dim = data.features.cols();
       cfg.hidden = 16;
@@ -55,7 +54,8 @@ int main(int argc, char** argv) {
       cfg.kernels = 2;
       cfg.pseudo_dim = 1;
       cfg.num_classes = data.num_classes;
-      Compiled c = compile_model(build_monet(cfg, mrng), s, true, data.graph);
+      auto c = engine_compile(std::make_shared<api::MoNet>(cfg), s, true,
+                              data.graph, opt);
       MemoryPool pool;
       return measure_training(std::move(c), data.graph, data.features, pseudo,
                               data.labels, opt.steps, true, &pool);

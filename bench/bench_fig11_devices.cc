@@ -128,7 +128,6 @@ int main(int argc, char** argv) {
     Rng rng(opt.seed);
     Dataset data = make_dataset("reddit", rng, opt.reddit_scale, opt.feat_scale);
     auto make = [&](const Strategy& s) {
-      Rng mrng(opt.seed + 1);
       GatConfig cfg;
       cfg.in_dim = data.features.cols();
       cfg.hidden = 64;
@@ -137,8 +136,8 @@ int main(int argc, char** argv) {
       cfg.num_classes = data.num_classes;
       cfg.prereorganized = s.prereorganized_gat;
       cfg.builtin_softmax = s.builtin_softmax;
-      return std::make_shared<const Compiled>(
-          compile_model(build_gat(cfg, mrng), s, true, data.graph));
+      return engine_compile(std::make_shared<api::Gat>(cfg), s, true,
+                            data.graph, opt);
     };
     Workload w{"GAT/reddit", &data.graph, &data.features, nullptr, &data.labels,
                make(dgl_like()), make(ours())};
@@ -153,13 +152,12 @@ int main(int argc, char** argv) {
       labels.at(v, 0) = pc.labels.at(v / opt.points, 0);
     }
     auto make = [&](const Strategy& s) {
-      Rng mrng(opt.seed + 1);
       EdgeConvConfig cfg;
       cfg.in_dim = 3;
       cfg.hidden = {64, 64, 128, 256};
       cfg.num_classes = 40;
-      return std::make_shared<const Compiled>(
-          compile_model(build_edgeconv(cfg, mrng), s, true, pc.graph));
+      return engine_compile(std::make_shared<api::EdgeConv>(cfg), s, true,
+                            pc.graph, opt);
     };
     Workload w{"EdgeConv/k40", &pc.graph, &pc.coords, nullptr, &labels,
                make(dgl_like()), make(ours())};
@@ -171,7 +169,6 @@ int main(int argc, char** argv) {
     Dataset data = make_dataset("reddit", rng, opt.reddit_scale, opt.feat_scale);
     Tensor pseudo = make_pseudo_coords(data.graph, 1);
     auto make = [&](const Strategy& s) {
-      Rng mrng(opt.seed + 1);
       MoNetConfig cfg;
       cfg.in_dim = data.features.cols();
       cfg.hidden = 16;
@@ -179,8 +176,8 @@ int main(int argc, char** argv) {
       cfg.kernels = 2;
       cfg.pseudo_dim = 1;
       cfg.num_classes = data.num_classes;
-      return std::make_shared<const Compiled>(
-          compile_model(build_monet(cfg, mrng), s, true, data.graph));
+      return engine_compile(std::make_shared<api::MoNet>(cfg), s, true,
+                            data.graph, opt);
     };
     Workload w{"MoNet/reddit", &data.graph, &data.features, &pseudo,
                &data.labels, make(dgl_like()), make(ours())};

@@ -27,13 +27,12 @@ int main(int argc, char** argv) {
     }
 
     auto run = [&](const Strategy& s) {
-      Rng mrng(opt.seed + 1);
       EdgeConvConfig cfg;
       cfg.in_dim = 3;
       cfg.hidden = {64, 64, 128, 256};
       cfg.num_classes = 40;
-      Compiled c = compile_model(build_edgeconv(cfg, mrng), s, true, pc.graph,
-                                 opt.shards);
+      auto c = engine_compile(std::make_shared<api::EdgeConv>(cfg), s, true,
+                              pc.graph, opt);
       MemoryPool pool;
       return measure_training(std::move(c), pc.graph, pc.coords, Tensor{},
                               labels, opt.steps, true, &pool);

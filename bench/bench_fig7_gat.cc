@@ -23,7 +23,6 @@ int main(int argc, char** argv) {
     Dataset data = make_dataset(name, rng, opt.scale_for(name), opt.feat_scale);
 
     auto run = [&](const Strategy& s) {
-      Rng mrng(opt.seed + 1);
       GatConfig cfg;
       cfg.in_dim = data.features.cols();
       cfg.hidden = 128;
@@ -32,11 +31,11 @@ int main(int argc, char** argv) {
       cfg.num_classes = data.num_classes;
       cfg.prereorganized = s.prereorganized_gat;
       cfg.builtin_softmax = s.builtin_softmax;
-      // Compile once (plan included); every measured step reuses the plan.
-      // --shards=K compiles a sharded plan: fused kernels then run one pool
-      // task per shard (see ParallelPlanRunner / Trainer::enable_sharding).
-      Compiled c = compile_model(build_gat(cfg, mrng), s, /*training=*/true,
-                                 data.graph, opt.shards);
+      // Compile once through the Engine (plan included); every measured step
+      // reuses the plan. --shards=K compiles a sharded plan: fused kernels
+      // then run one pool task per shard (see ParallelPlanRunner).
+      auto c = engine_compile(std::make_shared<api::Gat>(cfg), s,
+                              /*training=*/true, data.graph, opt);
       MemoryPool pool;
       return measure_training(std::move(c), data.graph, data.features, Tensor{},
                               data.labels, opt.steps, true, &pool);

@@ -31,7 +31,6 @@ int main(int argc, char** argv) {
     Tensor pseudo = make_pseudo_coords(data.graph, st.r);
 
     auto run = [&](const Strategy& s) {
-      Rng mrng(opt.seed + 1);
       MoNetConfig cfg;
       cfg.in_dim = data.features.cols();
       cfg.hidden = 16;
@@ -39,7 +38,8 @@ int main(int argc, char** argv) {
       cfg.kernels = st.k;
       cfg.pseudo_dim = st.r;
       cfg.num_classes = data.num_classes;
-      Compiled c = compile_model(build_monet(cfg, mrng), s, true, data.graph);
+      auto c = engine_compile(std::make_shared<api::MoNet>(cfg), s, true,
+                              data.graph, opt);
       MemoryPool pool;
       return measure_training(std::move(c), data.graph, data.features, pseudo,
                               data.labels, opt.steps, true, &pool);

@@ -25,7 +25,6 @@ int main(int argc, char** argv) {
     Rng rng(opt.seed);
     Dataset data = make_dataset("pubmed", rng, opt.scale, opt.feat_scale);
     auto run = [&](const Strategy& s) {
-      Rng mrng(opt.seed + 1);
       GatConfig cfg;
       cfg.in_dim = data.features.cols();
       cfg.hidden = 64;
@@ -33,7 +32,8 @@ int main(int argc, char** argv) {
       cfg.layers = 1;
       cfg.num_classes = data.num_classes;
       cfg.classify_last = false;  // §7.3 ablation shape: h=4, f=64
-      Compiled c = compile_model(build_gat(cfg, mrng), s, /*training=*/false, data.graph);
+      auto c = engine_compile(std::make_shared<api::Gat>(cfg), s,
+                              /*training=*/false, data.graph, opt);
       MemoryPool pool;
       return measure_training(std::move(c), data.graph, data.features, Tensor{},
                               data.labels, opt.steps, /*training=*/false, &pool);
@@ -53,13 +53,13 @@ int main(int argc, char** argv) {
     // §7.3 feeds 64-wide hidden features into the measured layer.
     Tensor feats64 = Tensor::randn(pc.graph.num_vertices(), 64, rng, 0.5f);
     auto run = [&](const Strategy& s) {
-      Rng mrng(opt.seed + 1);
       EdgeConvConfig cfg;
       cfg.in_dim = 64;  // §7.3: one layer, feature dim 64
       cfg.hidden = {64};
       cfg.num_classes = 40;
       cfg.classify = false;
-      Compiled c = compile_model(build_edgeconv(cfg, mrng), s, false, pc.graph);
+      auto c = engine_compile(std::make_shared<api::EdgeConv>(cfg), s, false,
+                              pc.graph, opt);
       MemoryPool pool;
       return measure_training(std::move(c), pc.graph, feats64, Tensor{},
                               labels, opt.steps, false, &pool);

@@ -40,7 +40,6 @@ int main(int argc, char** argv) {
     Rng rng(opt.seed);
     Dataset data = make_dataset("reddit", rng, opt.reddit_scale, opt.feat_scale);
     auto run = [&](const Strategy& s) {
-      Rng mrng(opt.seed + 1);
       GatConfig cfg;
       cfg.in_dim = data.features.cols();
       cfg.hidden = 64;
@@ -48,7 +47,8 @@ int main(int argc, char** argv) {
       cfg.layers = 1;
       cfg.num_classes = data.num_classes;
       cfg.classify_last = false;
-      Compiled c = compile_model(build_gat(cfg, mrng), s, false, data.graph);
+      auto c = engine_compile(std::make_shared<api::Gat>(cfg), s, false,
+                              data.graph, opt);
       MemoryPool pool;
       return measure_training(std::move(c), data.graph, data.features, Tensor{},
                               data.labels, opt.steps, false, &pool);
@@ -67,13 +67,13 @@ int main(int argc, char** argv) {
     }
     Tensor feats64 = Tensor::randn(pc.graph.num_vertices(), 64, rng, 0.5f);
     auto run = [&](const Strategy& s) {
-      Rng mrng(opt.seed + 1);
       EdgeConvConfig cfg;
       cfg.in_dim = 64;
       cfg.hidden = {64};
       cfg.num_classes = 40;
       cfg.classify = false;
-      Compiled c = compile_model(build_edgeconv(cfg, mrng), s, false, pc.graph);
+      auto c = engine_compile(std::make_shared<api::EdgeConv>(cfg), s, false,
+                              pc.graph, opt);
       MemoryPool pool;
       return measure_training(std::move(c), pc.graph, feats64, Tensor{},
                               labels, opt.steps, false, &pool);
@@ -88,7 +88,6 @@ int main(int argc, char** argv) {
     Dataset data = make_dataset("reddit", rng, opt.reddit_scale, opt.feat_scale);
     Tensor pseudo = make_pseudo_coords(data.graph, 1);
     auto run = [&](const Strategy& s) {
-      Rng mrng(opt.seed + 1);
       MoNetConfig cfg;
       cfg.in_dim = data.features.cols();
       cfg.hidden = 16;
@@ -97,7 +96,8 @@ int main(int argc, char** argv) {
       cfg.pseudo_dim = 1;
       cfg.num_classes = data.num_classes;
       cfg.classify_last = false;
-      Compiled c = compile_model(build_monet(cfg, mrng), s, false, data.graph);
+      auto c = engine_compile(std::make_shared<api::MoNet>(cfg), s, false,
+                              data.graph, opt);
       MemoryPool pool;
       return measure_training(std::move(c), data.graph, data.features, pseudo,
                               data.labels, opt.steps, false, &pool);

@@ -22,12 +22,12 @@ int main(int argc, char** argv) {
       labels.at(v, 0) = pc.labels.at(v / opt.points, 0);
     }
     auto flops_of = [&](const Strategy& s) {
-      Rng mrng(opt.seed + 1);
       EdgeConvConfig cfg;
       cfg.in_dim = 3;
       cfg.hidden = {64, 64, 128, 256};
       cfg.num_classes = 40;
-      Compiled c = compile_model(build_edgeconv(cfg, mrng), s, false, pc.graph);
+      auto c = engine_compile(std::make_shared<api::EdgeConv>(cfg), s, false,
+                              pc.graph, opt);
       MemoryPool pool;
       const Measurement m = measure_training(std::move(c), pc.graph, pc.coords,
                                              Tensor{}, labels, 1, false, &pool);
@@ -47,7 +47,6 @@ int main(int argc, char** argv) {
      // baseline.
     Rng rng(opt.seed);
     Dataset data = make_dataset("reddit", rng, opt.reddit_scale, opt.feat_scale);
-    Rng mrng(opt.seed + 1);
     GatConfig cfg;
     cfg.in_dim = data.features.cols();
     cfg.hidden = 64;
@@ -56,7 +55,8 @@ int main(int argc, char** argv) {
     cfg.num_classes = data.num_classes;
     cfg.prereorganized = true;
     cfg.builtin_softmax = true;
-    Compiled c = compile_model(build_gat(cfg, mrng), dgl_like(), true, data.graph);
+    auto c = engine_compile(std::make_shared<api::Gat>(cfg), dgl_like(), true,
+                            data.graph, opt);
     MemoryPool pool;
     Trainer t(std::move(c), data.graph,
               data.features.clone(MemTag::kInput, &pool), Tensor{}, &pool);

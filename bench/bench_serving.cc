@@ -18,11 +18,11 @@
 // --max-wait-us=U --workers=W --knn=K.
 #include <cstdio>
 #include <future>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
-#include "serve/server.h"
 
 using namespace triad;
 using namespace triad::bench;
@@ -52,13 +52,15 @@ struct ServeOptions {
 
 constexpr std::int64_t kInDim = 16;
 
-ModelGraph build_serving_model() {
+api::Model serving_model(const Options& opt) {
   GcnConfig cfg;
   cfg.in_dim = kInDim;
   cfg.hidden = {32};
   cfg.num_classes = 8;
-  Rng rng(4242);  // fixed: every cache-miss compile gets identical weights
-  return build_gcn(cfg, rng);
+  api::CompileOptions co;
+  co.shards = opt.shards;
+  co.init_seed = 4242;  // fixed: every cache-miss compile gets identical weights
+  return api::Engine(co).compile(std::make_shared<api::Gcn>(cfg));
 }
 
 }  // namespace
@@ -98,15 +100,14 @@ int main(int argc, char** argv) {
       "gcn/knn-cloud" + std::to_string(points);
   std::vector<int> configs{1};  // sequential baseline first
   if (so.max_batch != 1) configs.push_back(so.max_batch);
+  const api::Model model = serving_model(opt);
   for (const int max_batch : configs) {
-    serve::ServerConfig cfg;
-    cfg.workers = so.workers;
-    cfg.shards = opt.shards;
-    cfg.batch.max_batch = max_batch;
-    cfg.batch.max_wait_us = so.max_wait_us;
-    cfg.batch.queue_capacity = static_cast<std::size_t>(so.requests) + 1;
+    serve::BatchPolicy policy;
+    policy.max_batch = max_batch;
+    policy.max_wait_us = so.max_wait_us;
+    policy.queue_capacity = static_cast<std::size_t>(so.requests) + 1;
 
-    serve::InferenceServer server("bench/gcn-h32", build_serving_model, cfg);
+    auto server = model.server(policy, so.workers);
     std::vector<std::future<serve::InferenceResult>> futures;
     futures.reserve(requests.size());
     Timer wall;
@@ -114,12 +115,12 @@ int main(int argc, char** argv) {
       serve::InferenceRequest copy;
       copy.graph = req.graph;
       copy.features = req.features;  // shallow handle; payload is shared
-      futures.push_back(server.submit(std::move(copy)));
+      futures.push_back(server->submit(std::move(copy)));
     }
     for (auto& f : futures) f.get();
     const double wall_seconds = wall.seconds();
-    server.shutdown();
-    const serve::ServerStats stats = server.stats();
+    server->shutdown();
+    const serve::ServerStats stats = server->stats();
 
     Measurement m;
     // Keep the shared-schema semantics of run_seconds ("time per unit of

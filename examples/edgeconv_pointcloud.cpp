@@ -8,11 +8,10 @@
 //   ./edgeconv_pointcloud [points_per_cloud] [batch] [k]
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 
-#include "baselines/strategy.h"
-#include "graph/knn.h"
-#include "models/models.h"
-#include "models/trainer.h"
+#include "api/triad.h"
+#include "ir/passes/reorg.h"
 
 using namespace triad;
 
@@ -62,9 +61,11 @@ int main(int argc, char** argv) {
   cfg.hidden = {32, 32};
   cfg.num_classes = 40;
 
+  api::Engine engine({.strategy = ours(), .init_seed = 99});
+  api::Model model = engine.compile(std::make_shared<api::EdgeConv>(cfg));
+
   {  // Show where the redundancy lives before/after reorganization.
-    Rng mrng(99);
-    ModelGraph paper_order = build_edgeconv(cfg, mrng);
+    ModelGraph paper_order = model.build_graph();
     IrGraph reorganized = reorg_pass(paper_order.ir);
     std::printf("\noperator census (Θ·(hu−hv) projections):\n");
     print_expensive_ops("paper-order", paper_order.ir, pc.graph.num_vertices(),
@@ -73,11 +74,9 @@ int main(int argc, char** argv) {
                         pc.graph.num_edges());
   }
 
-  Rng mrng(99);
-  Compiled c = compile_model(build_edgeconv(cfg, mrng), ours(), true, pc.graph);
   MemoryPool pool;
-  Trainer trainer(std::move(c), pc.graph,
-                  pc.coords.clone(MemTag::kInput, &pool), Tensor{}, &pool);
+  Trainer trainer = model.trainer(
+      pc.graph, pc.coords.clone(MemTag::kInput, &pool), {}, &pool);
   std::printf("\ntraining (optimized pipeline):\n");
   for (int epoch = 0; epoch < 25; ++epoch) {
     const StepMetrics m = trainer.train_step(labels, 0.03f);

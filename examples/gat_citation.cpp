@@ -7,13 +7,10 @@
 //   ./gat_citation pubmed 0.5
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
-#include "baselines/plan_cache.h"
-#include "baselines/strategy.h"
-#include "graph/datasets.h"
-#include "models/models.h"
-#include "models/trainer.h"
+#include "api/triad.h"
 
 using namespace triad;
 
@@ -42,20 +39,17 @@ int main(int argc, char** argv) {
   std::printf("GAT on %s: %s\n", dataset.c_str(), data.graph.stats().c_str());
 
   for (const Strategy& s : {dgl_like(), ours()}) {
-    // Compile through the process-wide PlanCache: a second run of the same
-    // (model, strategy, graph shape) — e.g. another serving thread — would
-    // get this exact artifact back without touching the pass pipeline.
-    PlanKey key{"gat/h16x4/l2", s.name, /*training=*/true,
-                data.graph.num_vertices(), data.graph.num_edges(),
-                data.features.cols()};
-    std::shared_ptr<const Compiled> c = PlanCache::global().get_or_compile(
-        key, s, true, data.graph, [&] {
-          Rng mrng(1234);  // same init for a fair comparison
-          return build_gat(gat_config(data, s), mrng);
-        });
+    // use_plan_cache routes the compile through the process-wide PlanCache,
+    // keyed by the module's signature: a second run of the same (module,
+    // strategy, graph shape) — e.g. another serving thread — would get this
+    // exact artifact back without touching the pass pipeline.
+    api::Engine engine({.strategy = s,
+                        .use_plan_cache = true,
+                        .init_seed = 1234});  // same init for a fair comparison
+    api::Model model =
+        engine.compile(std::make_shared<api::Gat>(gat_config(data, s)));
     MemoryPool pool;
-    Trainer trainer(c, data.graph,
-                    data.features.clone(MemTag::kInput, &pool), Tensor{}, &pool);
+    Trainer trainer = model.trainer(data, &pool);
     double total_s = 0;
     float loss = 0;
     std::uint64_t io = 0;

@@ -6,12 +6,10 @@
 //   ./monet_mixture [dataset] [kernels] [pseudo_dim]
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
-#include "baselines/strategy.h"
-#include "graph/datasets.h"
-#include "models/models.h"
-#include "models/trainer.h"
+#include "api/triad.h"
 
 using namespace triad;
 
@@ -22,7 +20,6 @@ int main(int argc, char** argv) {
 
   Rng rng(21);
   Dataset data = make_dataset(dataset, rng, 0.25, 0.05);
-  Tensor pseudo = make_pseudo_coords(data.graph, r);
   std::printf("MoNet on %s (K=%d, r=%d): %s\n", dataset.c_str(), kernels, r,
               data.graph.stats().c_str());
 
@@ -33,16 +30,17 @@ int main(int argc, char** argv) {
   cfg.kernels = kernels;
   cfg.pseudo_dim = r;
   cfg.num_classes = data.num_classes;
+  const auto module = std::make_shared<api::MoNet>(cfg);
 
-  // Train under the three Figure-10 variants; weights are identical, so the
-  // losses coincide while memory/latency differ.
+  // Train under the three Figure-10 variants; the init seed is shared, so
+  // the losses coincide while memory/latency differ. model.trainer(data)
+  // derives the degree-based pseudo-coordinates from the module's
+  // pseudo_dim() automatically.
   for (const Strategy& s : {ours_no_fusion(), ours_fusion_stash(), ours()}) {
-    Rng mrng(808);
-    Compiled c = compile_model(build_monet(cfg, mrng), s, true, data.graph);
+    api::Model model =
+        api::Engine({.strategy = s, .init_seed = 808}).compile(module);
     MemoryPool pool;
-    Trainer trainer(std::move(c), data.graph,
-                    data.features.clone(MemTag::kInput, &pool),
-                    pseudo.clone(MemTag::kInput, &pool), &pool);
+    Trainer trainer = model.trainer(data, &pool);
     float loss = 0;
     double seconds = 0;
     for (int epoch = 0; epoch < 20; ++epoch) {

@@ -1,17 +1,16 @@
-// Quickstart: the triad pipeline in ~60 lines.
+// Quickstart: the triad pipeline in ~60 lines, through the typed front end.
 //
-// Builds a 2-layer GCN as an operator IR, compiles it under the paper's full
-// optimization strategy (reorganization + unified-mapping fusion +
-// recomputation), trains it full-batch on a synthetic Cora-like citation
-// graph, and prints losses plus the cost counters the optimizations affect.
+// Builds a 2-layer GCN module, compiles it once through the unified Engine
+// entry point under the paper's full optimization strategy (reorganization +
+// unified-mapping fusion + recomputation), trains it full-batch on a
+// synthetic Cora-like citation graph, and prints losses plus the cost
+// counters the optimizations affect.
 //
 //   ./quickstart
 #include <cstdio>
+#include <memory>
 
-#include "baselines/strategy.h"
-#include "graph/datasets.h"
-#include "models/models.h"
-#include "models/trainer.h"
+#include "api/triad.h"
 
 using namespace triad;
 
@@ -26,35 +25,40 @@ int main() {
               static_cast<long long>(data.features.cols()),
               static_cast<long long>(data.num_classes));
 
-  // 2. A model, expressed as the paper's operator IR (Scatter / Gather /
-  //    ApplyEdge / ApplyVertex) by the GCN builder.
+  // 2. A model: the stock GCN module. Modules describe *how to build* the
+  //    paper's operator IR (Scatter / Gather / ApplyEdge / ApplyVertex);
+  //    custom architectures subclass api::Module and compose api::Value ops.
   GcnConfig cfg;
   cfg.in_dim = data.features.cols();
   cfg.hidden = {32};
   cfg.num_classes = data.num_classes;
-  ModelGraph model = build_gcn(cfg, rng);
-  std::printf("\nforward IR:\n%s\n", model.ir.dump().c_str());
+  // use_plan_cache: the introspection compile below and the trainer share
+  // one artifact through the process-wide PlanCache.
+  api::Engine engine({.strategy = ours(), .use_plan_cache = true});
+  api::Model model = engine.compile(std::make_shared<api::Gcn>(cfg));
+  std::printf("\nforward IR (%s):\n%s\n", model.module().signature().c_str(),
+              model.build_graph().ir.dump().c_str());
 
-  // 3. Compile ONCE: the PassManager runs reorg -> autodiff -> recompute ->
-  //    fusion with per-pass timing, and the result is baked into an immutable
-  //    ExecutionPlan for this graph. The epoch loop below only executes the
-  //    plan — no pass or liveness analysis happens inside it.
-  Compiled compiled =
-      compile_model(std::move(model), ours(), /*training=*/true, data.graph);
-  std::printf("compiled to %d nodes, %zu fused kernels\n", compiled.ir.size(),
-              compiled.ir.programs.size());
-  for (const PassInfo& p : compiled.stats.passes) {
+  // 3. Compile ONCE for this graph: the PassManager runs reorg -> autodiff ->
+  //    optimize -> recompute -> fusion with per-pass timing, and the result
+  //    is baked into an immutable ExecutionPlan. The epoch loop below only
+  //    executes the plan — no pass or liveness analysis happens inside it.
+  std::shared_ptr<const Compiled> compiled =
+      model.compiled(data.graph, /*training=*/true);
+  std::printf("compiled to %d nodes, %zu fused kernels\n", compiled->ir.size(),
+              compiled->ir.programs.size());
+  for (const PassInfo& p : compiled->stats.passes) {
     std::printf("  pass %-10s %6.2f ms  %3d -> %3d nodes\n", p.name.c_str(),
                 p.seconds * 1e3, p.nodes_before, p.nodes_after);
   }
   std::printf("  plan build %6.2f ms  estimated peak %s\n\n",
-              compiled.stats.plan_seconds * 1e3,
-              human_bytes(compiled.plan->estimated_peak_bytes()).c_str());
+              compiled->stats.plan_seconds * 1e3,
+              human_bytes(compiled->plan->estimated_peak_bytes()).c_str());
 
-  // 4. Train full-batch and watch the counters.
+  // 4. Train full-batch and watch the counters. model.trainer() shares the
+  //    compile artifact — constructing N trainers would compile zero times.
   MemoryPool pool;
-  Trainer trainer(std::move(compiled), data.graph,
-                  data.features.clone(MemTag::kInput, &pool), Tensor{}, &pool);
+  Trainer trainer = model.trainer(data, &pool);
   for (int epoch = 0; epoch < 20; ++epoch) {
     const StepMetrics m = trainer.train_step(data.labels, 0.05f);
     if (epoch % 5 == 0 || epoch == 19) {

@@ -1,7 +1,7 @@
 // Example: batched inference serving — the compile-once/serve-many stack as
 // an application.
 //
-// An InferenceServer wraps the whole pipeline: requests (here, k-NN point
+// model.server() wraps the whole pipeline: requests (here, k-NN point
 // clouds) enter a bounded queue, the adaptive batcher packs them into
 // block-diagonal batch graphs, each distinct batch shape is compiled exactly
 // once into an immutable ExecutionPlan via the process-wide PlanCache, and
@@ -17,10 +17,7 @@
 #include <memory>
 #include <vector>
 
-#include "baselines/plan_cache.h"
-#include "graph/knn.h"
-#include "models/models.h"
-#include "serve/server.h"
+#include "api/triad.h"
 
 using namespace triad;
 
@@ -28,15 +25,6 @@ namespace {
 
 constexpr std::int64_t kPoints = 96;
 constexpr std::int64_t kInDim = 8;
-
-ModelGraph make_model() {
-  GcnConfig cfg;
-  cfg.in_dim = kInDim;
-  cfg.hidden = {16};
-  cfg.num_classes = 8;
-  Rng rng(7);  // deterministic weights; a real deployment bakes trained ones
-  return build_gcn(cfg, rng);
-}
 
 serve::InferenceRequest make_request(unsigned seed) {
   Rng rng(seed);
@@ -56,17 +44,27 @@ int main(int argc, char** argv) {
   const int requests = argc > 1 ? std::atoi(argv[1]) : 32;
   const int max_batch = argc > 2 ? std::atoi(argv[2]) : 8;
 
-  serve::ServerConfig cfg;
-  cfg.workers = 2;
-  cfg.batch.max_batch = max_batch;
-  cfg.batch.max_wait_us = 300;
-  serve::InferenceServer server("example/gcn-h16", make_model, cfg);
-  std::printf("serving %d point-cloud requests (max_batch=%d, %d workers)\n",
-              requests, max_batch, cfg.workers);
+  GcnConfig cfg;
+  cfg.in_dim = kInDim;
+  cfg.hidden = {16};
+  cfg.num_classes = 8;
+  // init_seed makes the served weights deterministic; a real deployment
+  // bakes trained ones into the module's init tensors.
+  api::Model model = api::Engine({.strategy = ours(), .init_seed = 7})
+                         .compile(std::make_shared<api::Gcn>(cfg));
+
+  serve::BatchPolicy policy;
+  policy.max_batch = max_batch;
+  policy.max_wait_us = 300;
+  auto server = model.server(policy, /*workers=*/2);
+  std::printf("serving %d point-cloud requests (max_batch=%d, 2 workers, "
+              "model %s)\n",
+              requests, max_batch, server->model_name().c_str());
 
   std::vector<std::future<serve::InferenceResult>> futures;
   for (int i = 0; i < requests; ++i) {
-    futures.push_back(server.submit(make_request(100 + static_cast<unsigned>(i))));
+    futures.push_back(
+        server->submit(make_request(100 + static_cast<unsigned>(i))));
   }
   for (int i = 0; i < requests; ++i) {
     const serve::InferenceResult res = futures[static_cast<std::size_t>(i)].get();
@@ -79,9 +77,9 @@ int main(int argc, char** argv) {
       std::printf("  ...\n");
     }
   }
-  server.shutdown();
+  server->shutdown();
 
-  const serve::ServerStats stats = server.stats();
+  const serve::ServerStats stats = server->stats();
   std::printf(
       "\nserved %llu requests in %llu batches (mean batch %.2f): "
       "%.0f req/s, p50 %.3f ms, p95 %.3f ms, p99 %.3f ms\n",

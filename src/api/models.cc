@@ -1,0 +1,184 @@
+#include "api/models.h"
+
+#include <sstream>
+
+namespace triad::api {
+
+namespace {
+
+std::string dims_str(const std::vector<std::int64_t>& dims) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < dims.size(); ++i) os << (i ? "x" : "") << dims[i];
+  return os.str();
+}
+
+}  // namespace
+
+// --- GCN ---------------------------------------------------------------------
+
+std::string Gcn::signature() const {
+  std::ostringstream os;
+  os << "gcn/in" << cfg_.in_dim << "/h" << dims_str(cfg_.hidden) << "/c"
+     << cfg_.num_classes;
+  return os.str();
+}
+
+Value Gcn::forward(GraphBuilder& g, const Value& features,
+                   const Value& /*pseudo*/) const {
+  std::int64_t f_in = cfg_.in_dim;
+  Value h = features;
+  std::vector<std::int64_t> dims = cfg_.hidden;
+  dims.push_back(cfg_.num_classes);
+  for (std::size_t l = 0; l < dims.size(); ++l) {
+    GraphBuilder::Scope layer(g, "layer" + std::to_string(l));
+    const std::int64_t f_out = dims[l];
+    const Value w = g.param_xavier(f_in, f_out, "W");
+    const Value b = g.param_zeros(1, f_out, "b");
+    const Value proj = linear(h, w, 0, 0, "proj");
+    const Value msg = copy_u(proj, "msg");
+    const Value agg = gather_sum(msg, "agg");
+    h = bias(agg, b, "bias");
+    if (l + 1 < dims.size()) h = relu(h, "relu");
+    f_in = f_out;
+  }
+  return h;
+}
+
+// --- GAT ---------------------------------------------------------------------
+
+std::string Gat::signature() const {
+  std::ostringstream os;
+  os << "gat/in" << cfg_.in_dim << "/h" << cfg_.hidden << "/k" << cfg_.heads
+     << "/l" << cfg_.layers << "/c" << cfg_.num_classes << "/s"
+     << cfg_.negative_slope;
+  if (cfg_.prereorganized) os << "/pre";
+  if (cfg_.builtin_softmax) os << "/bsm";
+  if (!cfg_.classify_last) os << "/nocls";
+  return os.str();
+}
+
+Value Gat::forward(GraphBuilder& g, const Value& features,
+                   const Value& /*pseudo*/) const {
+  std::int64_t f_in = cfg_.in_dim;
+  Value h = features;
+  for (std::int64_t l = 0; l < cfg_.layers; ++l) {
+    GraphBuilder::Scope layer(g, "layer" + std::to_string(l));
+    const bool last = l + 1 == cfg_.layers;
+    const bool head_layer = last && cfg_.classify_last;
+    const std::int64_t heads = head_layer ? 1 : cfg_.heads;
+    const std::int64_t f_out = head_layer ? cfg_.num_classes : cfg_.hidden;
+    const std::int64_t hf = heads * f_out;
+
+    const Value w = g.param_xavier(f_in, hf, "W");
+    // Attention projection aᵀ[h̃u ‖ h̃v]: one (2hf, heads) weight, shared by
+    // the naive and the reorganized form (row windows).
+    const Value a = g.param_xavier(2 * hf, heads, "A");
+    const Value b = g.param_zeros(1, hf, "b");
+
+    const Value ht = linear(h, w, 0, 0, "feat_proj");
+    Value score;
+    if (cfg_.prereorganized) {
+      const Value al = linear(ht, a, 0, hf, "aL");
+      const Value ar = linear(ht, a, hf, 2 * hf, "aR");
+      score = u_add_v(al, ar, "u_add_v");
+    } else {
+      score = linear(u_concat_v(ht, ht, "u_concat_v"), a, 0, 0, "att_proj");
+    }
+    const Value lrelu = leaky_relu(score, cfg_.negative_slope, "leaky");
+    Value att;
+    if (cfg_.builtin_softmax) {
+      att = edge_softmax(lrelu, "edge_softmax");
+    } else {
+      const Value mx = gather_max(lrelu, "softmax_max");
+      const Value shift = sub(lrelu, copy_v(mx, "bcast_max"), "shift");
+      const Value ex = exp(shift, "exp");
+      const Value dn = gather_sum(ex, "softmax_den");
+      att = div(ex, copy_v(dn, "bcast_den"), "softmax");
+    }
+    const Value src = copy_u(ht, "copy_feat");
+    const Value weighted = mul_head(src, att, heads, "weight");
+    const Value agg = gather_sum(weighted, "aggregate");
+    Value outv = bias(agg, b, "bias");
+    if (!last) outv = elu(outv, 1.f, "elu");
+    h = outv;
+    f_in = hf;
+  }
+  return h;
+}
+
+// --- EdgeConv ----------------------------------------------------------------
+
+std::string EdgeConv::signature() const {
+  std::ostringstream os;
+  os << "edgeconv/in" << cfg_.in_dim << "/h" << dims_str(cfg_.hidden) << "/c"
+     << cfg_.num_classes << "/s" << cfg_.negative_slope;
+  if (!cfg_.classify) os << "/nocls";
+  return os.str();
+}
+
+Value EdgeConv::forward(GraphBuilder& g, const Value& features,
+                        const Value& /*pseudo*/) const {
+  std::int64_t f_in = cfg_.in_dim;
+  Value h = features;
+  for (std::size_t l = 0; l < cfg_.hidden.size(); ++l) {
+    GraphBuilder::Scope layer(g, "layer" + std::to_string(l));
+    const std::int64_t f_out = cfg_.hidden[l];
+    const Value theta = g.param_xavier(f_in, f_out, "Theta");
+    const Value phi = g.param_xavier(f_in, f_out, "Phi");
+    // Paper order (Fig. 12(e)): Scatter u_sub_v, then the expensive Linear on
+    // edges — the redundancy ReorgPass removes.
+    const Value diff = u_sub_v(h, h, "u_sub_v");
+    const Value etheta = linear(diff, theta, 0, 0, "theta_proj");
+    const Value nphi = linear(h, phi, 0, 0, "phi_proj");
+    const Value combined =
+        add(etheta, copy_v(nphi, "bcast_phi"), "e_add_v");
+    const Value pooled = gather_max(combined, "reduce_max");
+    h = leaky_relu(pooled, cfg_.negative_slope, "act");
+    f_in = f_out;
+  }
+  if (cfg_.classify) {
+    const Value wc = g.param_xavier(f_in, cfg_.num_classes, "Wcls");
+    const Value bc = g.param_zeros(1, cfg_.num_classes, "bcls");
+    h = bias(linear(h, wc, 0, 0, "classifier"), bc, "blogits");
+  }
+  return h;
+}
+
+// --- MoNet -------------------------------------------------------------------
+
+std::string MoNet::signature() const {
+  std::ostringstream os;
+  os << "monet/in" << cfg_.in_dim << "/h" << cfg_.hidden << "/l" << cfg_.layers
+     << "/k" << cfg_.kernels << "/r" << cfg_.pseudo_dim << "/c"
+     << cfg_.num_classes;
+  if (!cfg_.classify_last) os << "/nocls";
+  return os.str();
+}
+
+Value MoNet::forward(GraphBuilder& g, const Value& features,
+                     const Value& pseudo) const {
+  std::int64_t f_in = cfg_.in_dim;
+  Value h = features;
+  const std::int64_t k = cfg_.kernels;
+  for (std::int64_t l = 0; l < cfg_.layers; ++l) {
+    GraphBuilder::Scope layer(g, "layer" + std::to_string(l));
+    const bool last = l + 1 == cfg_.layers;
+    const std::int64_t f_out =
+        last && cfg_.classify_last ? cfg_.num_classes : cfg_.hidden;
+    const Value mu = g.param_normal(k, cfg_.pseudo_dim, 0.f, 0.3f, "mu");
+    const Value sigma = g.param_full(k, cfg_.pseudo_dim, 1.f, "sigma");
+    const Value w = g.param_xavier(f_in, k * f_out, "W");
+    const Value gw = gaussian(pseudo, mu, sigma, "gaussian");
+    const Value hw = linear(h, w, 0, 0, "kernel_proj");
+    const Value src = copy_u(hw, "copy_kproj");
+    const Value contrib = mul_head(src, gw, k, "kweight");
+    const Value agg = gather_sum(contrib, "aggregate");
+    Value outv = head_sum(agg, k, 1.f / static_cast<float>(k), "mix");
+    if (!last) outv = relu(outv, "relu");
+    h = outv;
+    f_in = f_out;
+  }
+  return h;
+}
+
+}  // namespace triad::api

@@ -1,0 +1,20 @@
+#include "api/module.h"
+
+namespace triad::api {
+
+ModelGraph Module::build(Rng& rng) const {
+  GraphBuilder g(&rng);
+  const Value features = g.features(in_dim());
+  Value pseudo;
+  if (pseudo_dim() > 0) pseudo = g.pseudo(pseudo_dim());
+  const Value out = (*this)(g, features, pseudo);
+  return g.finish(out);
+}
+
+Value Module::operator()(GraphBuilder& g, const Value& features,
+                         const Value& pseudo) const {
+  GraphBuilder::Scope scope(g, name_);
+  return forward(g, features, pseudo);
+}
+
+}  // namespace triad::api

@@ -1,0 +1,464 @@
+#include "api/value.h"
+
+#include <sstream>
+
+#include "support/macros.h"
+
+namespace triad::api {
+
+namespace {
+
+const char* space_letter(Space s) {
+  switch (s) {
+    case Space::Vertex: return "V";
+    case Space::Edge: return "E";
+    case Space::Param: return "P";
+  }
+  return "?";
+}
+
+const char* space_word(Space s) {
+  switch (s) {
+    case Space::Vertex: return "vertex";
+    case Space::Edge: return "edge";
+    case Space::Param: return "param";
+  }
+  return "?";
+}
+
+[[noreturn]] void fail(const std::string& op, const std::string& msg) {
+  throw Error("api: " + op + ": " + msg);
+}
+
+std::string describe(const Value& v) {
+  if (!v.defined()) return "<undefined Value>";
+  std::ostringstream os;
+  os << "'" << v.name() << "' (%" << v.id() << ": " << space_letter(v.space())
+     << "x" << v.width() << ")";
+  return os.str();
+}
+
+/// All operands must be defined and live on the same GraphBuilder; returns
+/// that builder. Catches the "Value from a different IrGraph" mistake at the
+/// op that commits it.
+GraphBuilder& common_builder(const std::string& op,
+                             std::initializer_list<const Value*> vs) {
+  GraphBuilder* b = nullptr;
+  for (const Value* v : vs) {
+    if (!v->defined()) {
+      fail(op, "operand is an undefined (default-constructed) Value");
+    }
+    if (v->builder()->finished()) {
+      // Checked before describe() ever touches the (released) graph.
+      fail(op, "the GraphBuilder was already finished — its Values are no "
+               "longer usable");
+    }
+    if (b == nullptr) {
+      b = v->builder();
+    } else if (v->builder() != b) {
+      fail(op, "operands come from different graphs: " +
+                   describe(**vs.begin()) + " vs " + describe(*v));
+    }
+  }
+  return *b;
+}
+
+void check_space(const std::string& op, const Value& v, Space want,
+                 const char* role) {
+  if (v.space() != want) {
+    fail(op, std::string(role) + " must be " + space_word(want) + "-space, got " +
+                 describe(v));
+  }
+}
+
+void check_same_width(const std::string& op, const Value& a, const Value& b) {
+  if (a.width() != b.width()) {
+    fail(op, "operand widths differ: " + describe(a) + " vs " + describe(b));
+  }
+}
+
+void check_heads_divide(const std::string& op, const Value& v,
+                        std::int64_t heads) {
+  if (heads <= 0 || v.width() % heads != 0) {
+    fail(op, "width of " + describe(v) + " is not divisible by heads=" +
+                 std::to_string(heads));
+  }
+}
+
+/// Binary elementwise applies share one space-and-width gate.
+Value apply_elementwise(ApplyFn fn, const std::string& op, const Value& a,
+                        const Value& b, const std::string& name) {
+  GraphBuilder& g = common_builder(op, {&a, &b});
+  if (a.space() != b.space()) {
+    fail(op, "operands live in different spaces: " + describe(a) + " vs " +
+                 describe(b));
+  }
+  check_same_width(op, a, b);
+  return wrap_node(g, g.ir().apply_binary(fn, a.id(), b.id(), g.scoped(name)));
+}
+
+}  // namespace
+
+/// Internal: wraps a freshly appended node id as a Value of `g`. Lives at
+/// namespace scope (declared friend) so the free-function operators below
+/// can mint Values without being friends themselves.
+Value wrap_node(GraphBuilder& g, int id) { return g.wrap(id); }
+
+// --- Value accessors ---------------------------------------------------------
+
+Space Value::space() const {
+  TRIAD_CHECK(defined(), "space() on an undefined Value");
+  return builder_->ir().node(id_).space;
+}
+
+std::int64_t Value::width() const {
+  TRIAD_CHECK(defined(), "width() on an undefined Value");
+  return builder_->ir().node(id_).cols;
+}
+
+const std::string& Value::name() const {
+  TRIAD_CHECK(defined(), "name() on an undefined Value");
+  return builder_->ir().node(id_).name;
+}
+
+// --- GraphBuilder ------------------------------------------------------------
+
+std::string GraphBuilder::scoped(const std::string& local) const {
+  if (local.empty()) return local;  // let the IR assign its default op name
+  std::string out;
+  for (const std::string& s : scopes_) {
+    if (s.empty()) continue;
+    out += s;
+    out += '.';
+  }
+  return out + local;
+}
+
+Value GraphBuilder::input(Space space, std::int64_t cols,
+                          const std::string& name) {
+  TRIAD_CHECK(!finished_, "api: input: builder already finished");
+  if (name.empty()) fail("input", "inputs must be named (bound by name)");
+  return wrap(model_.ir.input(space, 0, cols, scoped(name)));
+}
+
+Value GraphBuilder::features(std::int64_t cols, const std::string& name) {
+  TRIAD_CHECK(!finished_, "api: features: builder already finished");
+  if (model_.features >= 0) {
+    fail("features", "feature input already declared as " +
+                         model_.ir.node(model_.features).name);
+  }
+  const Value v = input(Space::Vertex, cols, name);
+  model_.features = v.id();
+  return v;
+}
+
+Value GraphBuilder::pseudo(std::int64_t cols, const std::string& name) {
+  TRIAD_CHECK(!finished_, "api: pseudo: builder already finished");
+  if (model_.pseudo >= 0) {
+    fail("pseudo", "pseudo input already declared as " +
+                       model_.ir.node(model_.pseudo).name);
+  }
+  const Value v = input(Space::Edge, cols, name);
+  model_.pseudo = v.id();
+  return v;
+}
+
+Value GraphBuilder::param(std::int64_t rows, std::int64_t cols,
+                          const std::string& name, Tensor init) {
+  TRIAD_CHECK(!finished_, "api: param: builder already finished");
+  if (name.empty()) fail("param", "parameters must be named (bound by name)");
+  if (init.rows() != rows || init.cols() != cols) {
+    fail("param", "init tensor for '" + scoped(name) + "' is " +
+                      std::to_string(init.rows()) + "x" +
+                      std::to_string(init.cols()) + ", expected " +
+                      std::to_string(rows) + "x" + std::to_string(cols));
+  }
+  const int id = model_.ir.param(rows, cols, scoped(name));
+  model_.params.push_back(id);
+  model_.init.push_back(std::move(init));
+  return wrap(id);
+}
+
+Value GraphBuilder::param_xavier(std::int64_t rows, std::int64_t cols,
+                                 const std::string& name) {
+  return param(rows, cols, name, Tensor::xavier(rows, cols, rng()));
+}
+
+Value GraphBuilder::param_zeros(std::int64_t rows, std::int64_t cols,
+                                const std::string& name) {
+  return param(rows, cols, name, Tensor::zeros(rows, cols, MemTag::kWeights));
+}
+
+Value GraphBuilder::param_full(std::int64_t rows, std::int64_t cols,
+                               float value, const std::string& name) {
+  return param(rows, cols, name,
+               Tensor::full(rows, cols, value, MemTag::kWeights));
+}
+
+Value GraphBuilder::param_normal(std::int64_t rows, std::int64_t cols,
+                                 float mean, float stddev,
+                                 const std::string& name) {
+  Tensor t(rows, cols, MemTag::kWeights);
+  for (auto& v : t.flat()) v = rng().normalf(mean, stddev);
+  return param(rows, cols, name, std::move(t));
+}
+
+Rng& GraphBuilder::rng() {
+  TRIAD_CHECK(rng_ != nullptr,
+              "api: this GraphBuilder was constructed without an Rng; pass "
+              "one to initialize parameters");
+  return *rng_;
+}
+
+ModelGraph GraphBuilder::finish(const Value& output) {
+  TRIAD_CHECK(!finished_, "api: finish: builder already finished");
+  if (!output.defined()) fail("finish", "output is an undefined Value");
+  if (output.builder() != this) {
+    fail("finish", "output " + describe(output) + " belongs to a different "
+                   "GraphBuilder");
+  }
+  model_.output = output.id();
+  model_.ir.mark_output(output.id());
+  finished_ = true;
+  return std::move(model_);
+}
+
+// --- graph operators ---------------------------------------------------------
+
+Value scatter(ScatterFn fn, const Value& a, const Value& b, std::int64_t heads,
+              const std::string& name) {
+  const std::string op = std::string("scatter(") + to_string(fn) + ")";
+  const bool binary = fn != ScatterFn::CopyU && fn != ScatterFn::CopyV;
+  if (binary && !b.defined()) {
+    fail(op, "needs a second vertex operand, got an undefined Value");
+  }
+  if (!binary && b.defined()) {
+    fail(op, "takes one operand, but a second (" + describe(b) +
+                 ") was supplied");
+  }
+  GraphBuilder& g = binary ? common_builder(op, {&a, &b})
+                           : common_builder(op, {&a});
+  check_space(op, a, Space::Vertex, "input a");
+  if (binary) check_space(op, b, Space::Vertex, "input b");
+  switch (fn) {
+    case ScatterFn::AddUV:
+    case ScatterFn::SubUV:
+    case ScatterFn::MulUV:
+      check_same_width(op, a, b);
+      break;
+    case ScatterFn::DotUV:
+      check_same_width(op, a, b);
+      check_heads_divide(op, a, heads);
+      break;
+    default:
+      break;
+  }
+  return wrap_node(
+      g, g.ir().scatter(fn, a.id(), binary ? b.id() : -1, g.scoped(name), heads));
+}
+
+Value copy_u(const Value& a, const std::string& name) {
+  return scatter(ScatterFn::CopyU, a, Value(), 1, name);
+}
+Value copy_v(const Value& a, const std::string& name) {
+  return scatter(ScatterFn::CopyV, a, Value(), 1, name);
+}
+Value u_add_v(const Value& a, const Value& b, const std::string& name) {
+  return scatter(ScatterFn::AddUV, a, b, 1, name);
+}
+Value u_sub_v(const Value& a, const Value& b, const std::string& name) {
+  return scatter(ScatterFn::SubUV, a, b, 1, name);
+}
+Value u_mul_v(const Value& a, const Value& b, const std::string& name) {
+  return scatter(ScatterFn::MulUV, a, b, 1, name);
+}
+Value u_concat_v(const Value& a, const Value& b, const std::string& name) {
+  return scatter(ScatterFn::ConcatUV, a, b, 1, name);
+}
+Value u_dot_v(const Value& a, const Value& b, std::int64_t heads,
+              const std::string& name) {
+  return scatter(ScatterFn::DotUV, a, b, heads, name);
+}
+
+Value gather(ReduceFn fn, const Value& edges, bool reverse,
+             const std::string& name) {
+  const std::string op = std::string("gather(") + to_string(fn) + ")";
+  GraphBuilder& g = common_builder(op, {&edges});
+  check_space(op, edges, Space::Edge, "input");
+  return wrap_node(g, g.ir().gather(fn, edges.id(), reverse, g.scoped(name)));
+}
+
+Value gather_sum(const Value& edges, const std::string& name) {
+  return gather(ReduceFn::Sum, edges, false, name);
+}
+Value gather_max(const Value& edges, const std::string& name) {
+  return gather(ReduceFn::Max, edges, false, name);
+}
+Value gather_mean(const Value& edges, const std::string& name) {
+  return gather(ReduceFn::Mean, edges, false, name);
+}
+
+// --- applies -----------------------------------------------------------------
+
+Value linear(const Value& x, const Value& w, std::int64_t wrow_lo,
+             std::int64_t wrow_hi, const std::string& name) {
+  GraphBuilder& g = common_builder("linear", {&x, &w});
+  check_space("linear", w, Space::Param, "weight");
+  const std::int64_t w_rows = g.ir().node(w.id()).rows;
+  const std::int64_t hi = wrow_hi == 0 ? w_rows : wrow_hi;
+  if (wrow_lo < 0 || hi > w_rows || wrow_lo >= hi) {
+    fail("linear", "weight row window [" + std::to_string(wrow_lo) + ", " +
+                       std::to_string(hi) + ") out of range for " + describe(w));
+  }
+  if (x.width() != hi - wrow_lo) {
+    fail("linear", "input width of " + describe(x) + " does not match the " +
+                       std::to_string(hi - wrow_lo) + " selected weight rows of " +
+                       describe(w));
+  }
+  return wrap_node(
+      g, g.ir().linear(x.id(), w.id(), wrow_lo, wrow_hi, g.scoped(name)));
+}
+
+Value bias(const Value& x, const Value& b, const std::string& name) {
+  GraphBuilder& g = common_builder("bias", {&x, &b});
+  check_space("bias", b, Space::Param, "bias vector");
+  if (g.ir().node(b.id()).rows != 1 || b.width() != x.width()) {
+    fail("bias", "bias vector " + describe(b) + " must be 1x" +
+                     std::to_string(x.width()) + " to match " + describe(x));
+  }
+  return wrap_node(g, g.ir().bias(x.id(), b.id(), g.scoped(name)));
+}
+
+namespace {
+
+Value apply_unary_checked(ApplyFn fn, const Value& x, float alpha,
+                          const std::string& name) {
+  const std::string op = to_string(fn);
+  GraphBuilder& g = common_builder(op, {&x});
+  if (x.space() == Space::Param) {
+    fail(op, "applies run on vertex- or edge-space values, got " + describe(x));
+  }
+  return wrap_node(g, g.ir().apply_unary(fn, x.id(), alpha, g.scoped(name)));
+}
+
+}  // namespace
+
+Value relu(const Value& x, const std::string& name) {
+  return apply_unary_checked(ApplyFn::ReLU, x, 0.f, name);
+}
+Value leaky_relu(const Value& x, float negative_slope, const std::string& name) {
+  return apply_unary_checked(ApplyFn::LeakyReLU, x, negative_slope, name);
+}
+Value elu(const Value& x, float alpha, const std::string& name) {
+  return apply_unary_checked(ApplyFn::ELU, x, alpha, name);
+}
+Value exp(const Value& x, const std::string& name) {
+  return apply_unary_checked(ApplyFn::Exp, x, 0.f, name);
+}
+Value neg(const Value& x, const std::string& name) {
+  return apply_unary_checked(ApplyFn::Neg, x, 0.f, name);
+}
+Value scale(const Value& x, float alpha, const std::string& name) {
+  return apply_unary_checked(ApplyFn::Scale, x, alpha, name);
+}
+
+Value slice_cols(const Value& x, std::int64_t lo, std::int64_t hi,
+                 const std::string& name) {
+  GraphBuilder& g = common_builder("slice_cols", {&x});
+  if (lo < 0 || lo >= hi || hi > x.width()) {
+    fail("slice_cols", "column window [" + std::to_string(lo) + ", " +
+                           std::to_string(hi) + ") out of range for " +
+                           describe(x));
+  }
+  return wrap_node(g, g.ir().slice_cols(x.id(), lo, hi, g.scoped(name)));
+}
+
+Value add(const Value& a, const Value& b, const std::string& name) {
+  return apply_elementwise(ApplyFn::Add, "add", a, b, name);
+}
+Value sub(const Value& a, const Value& b, const std::string& name) {
+  return apply_elementwise(ApplyFn::Sub, "sub", a, b, name);
+}
+Value mul(const Value& a, const Value& b, const std::string& name) {
+  return apply_elementwise(ApplyFn::Mul, "mul", a, b, name);
+}
+Value div(const Value& a, const Value& b, const std::string& name) {
+  return apply_elementwise(ApplyFn::Div, "div", a, b, name);
+}
+
+Value mul_head(const Value& a, const Value& b, std::int64_t heads,
+               const std::string& name) {
+  GraphBuilder& g = common_builder("mul_head", {&a, &b});
+  if (a.space() != b.space()) {
+    fail("mul_head", "operands live in different spaces: " + describe(a) +
+                         " vs " + describe(b));
+  }
+  if (b.width() != heads) {
+    fail("mul_head", "per-head scalar operand " + describe(b) +
+                         " must have width heads=" + std::to_string(heads));
+  }
+  check_heads_divide("mul_head", a, heads);
+  return wrap_node(g, g.ir().apply_binary(ApplyFn::MulHead, a.id(), b.id(),
+                                          g.scoped(name), heads));
+}
+
+Value dot_head(const Value& a, const Value& b, std::int64_t heads,
+               const std::string& name) {
+  GraphBuilder& g = common_builder("dot_head", {&a, &b});
+  if (a.space() != b.space()) {
+    fail("dot_head", "operands live in different spaces: " + describe(a) +
+                         " vs " + describe(b));
+  }
+  check_same_width("dot_head", a, b);
+  check_heads_divide("dot_head", a, heads);
+  return wrap_node(g, g.ir().apply_binary(ApplyFn::DotHead, a.id(), b.id(),
+                                          g.scoped(name), heads));
+}
+
+Value head_sum(const Value& x, std::int64_t heads, float alpha,
+               const std::string& name) {
+  GraphBuilder& g = common_builder("head_sum", {&x});
+  check_heads_divide("head_sum", x, heads);
+  return wrap_node(g, g.ir().apply_head(ApplyFn::HeadSum, x.id(), heads, alpha,
+                                        g.scoped(name)));
+}
+
+Value head_broadcast(const Value& x, std::int64_t heads, float alpha,
+                     const std::string& name) {
+  GraphBuilder& g = common_builder("head_broadcast", {&x});
+  if (heads <= 0) fail("head_broadcast", "heads must be positive");
+  return wrap_node(g, g.ir().apply_head(ApplyFn::HeadBroadcast, x.id(), heads,
+                                        alpha, g.scoped(name)));
+}
+
+// --- specials ----------------------------------------------------------------
+
+Value edge_softmax(const Value& score, const std::string& name) {
+  GraphBuilder& g = common_builder("edge_softmax", {&score});
+  check_space("edge_softmax", score, Space::Edge, "score");
+  return wrap_node(g, g.ir().special(SpecialFn::EdgeSoftmax, {score.id()}, 0,
+                                     score.width(), Space::Edge, g.scoped(name)));
+}
+
+Value gaussian(const Value& pseudo, const Value& mu, const Value& sigma,
+               const std::string& name) {
+  GraphBuilder& g = common_builder("gaussian", {&pseudo, &mu, &sigma});
+  check_space("gaussian", pseudo, Space::Edge, "pseudo-coordinates");
+  check_space("gaussian", mu, Space::Param, "mu");
+  check_space("gaussian", sigma, Space::Param, "sigma");
+  const std::int64_t k = g.ir().node(mu.id()).rows;
+  if (g.ir().node(sigma.id()).rows != k || mu.width() != sigma.width()) {
+    fail("gaussian", "mu " + describe(mu) + " and sigma " + describe(sigma) +
+                         " must both be (kernels, pseudo_dim)");
+  }
+  if (mu.width() != pseudo.width()) {
+    fail("gaussian", "mu/sigma pseudo_dim " + std::to_string(mu.width()) +
+                         " does not match pseudo-coordinates " +
+                         describe(pseudo));
+  }
+  return wrap_node(g, g.ir().special(SpecialFn::Gaussian,
+                                     {pseudo.id(), mu.id(), sigma.id()}, 0, k,
+                                     Space::Edge, g.scoped(name)));
+}
+
+}  // namespace triad::api

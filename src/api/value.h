@@ -1,0 +1,217 @@
+/// \file
+/// The typed front-end: `Value` handles and the `GraphBuilder` they live on.
+///
+/// A `Value` is a lightweight reference to one node of an `IrGraph` under
+/// construction — graph + node id + space + width — with operator overloads
+/// and composable free functions (`scatter`, `gather`, `linear`,
+/// `leaky_relu`, …) that validate space and shape rules *at build time* and
+/// throw diagnostics naming the offending operator and operands, instead of
+/// failing deep inside `ExecutionPlan::compile` with bare node ids.
+///
+/// `GraphBuilder` owns the `ModelGraph` being assembled: the IR, the
+/// registered parameters with their init tensors, and the designated
+/// feature/pseudo inputs. It also carries the hierarchical name scope that
+/// `Module`s (see api/module.h) push, so a parameter registered as "W"
+/// inside the "layer0" scope of a module named "gat" is addressable as
+/// `gat.layer0.W`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/graph.h"
+#include "models/models.h"
+#include "support/rng.h"
+#include "tensor/tensor.h"
+
+namespace triad::api {
+
+class GraphBuilder;
+
+/// A handle to one IR node: the graph it belongs to, its id, and (via the
+/// node) its space and width. Copyable and cheap; validity is tied to the
+/// GraphBuilder's lifetime. A default-constructed Value is "undefined" and
+/// rejected (with a diagnostic) by every operator.
+class Value {
+ public:
+  Value() = default;
+
+  bool defined() const { return builder_ != nullptr; }
+  int id() const { return id_; }
+  GraphBuilder* builder() const { return builder_; }
+
+  /// Space / width / name of the underlying node. Only valid when defined().
+  Space space() const;
+  std::int64_t width() const;
+  const std::string& name() const;
+
+ private:
+  friend class GraphBuilder;
+  Value(GraphBuilder* builder, int id) : builder_(builder), id_(id) {}
+
+  GraphBuilder* builder_ = nullptr;
+  int id_ = -1;
+};
+
+/// Owns a ModelGraph under construction. All `Value`-producing operations
+/// funnel through here; front-end checks run first (naming the op and the
+/// operands), then the underlying IrGraph builder appends the node.
+class GraphBuilder {
+ public:
+  /// `rng` seeds parameter initializers (param_xavier / param_normal); pass
+  /// nullptr when only explicitly initialized params are used.
+  explicit GraphBuilder(Rng* rng = nullptr) : rng_(rng) {}
+
+  GraphBuilder(const GraphBuilder&) = delete;
+  GraphBuilder& operator=(const GraphBuilder&) = delete;
+
+  // --- inputs and parameters ----------------------------------------------
+  /// Generic externally bound input (rows are graph-dependent: |V| or |E|).
+  Value input(Space space, std::int64_t cols, const std::string& name);
+  /// Declares the designated vertex-feature input (`ModelGraph::features`).
+  Value features(std::int64_t cols, const std::string& name = "features");
+  /// Declares the designated edge pseudo-coordinate input
+  /// (`ModelGraph::pseudo`, MoNet-style models).
+  Value pseudo(std::int64_t cols, const std::string& name = "pseudo");
+
+  /// Registers a learnable parameter under the current scope with an explicit
+  /// initial value. The init tensor must match (rows, cols).
+  Value param(std::int64_t rows, std::int64_t cols, const std::string& name,
+              Tensor init);
+  /// Xavier/Glorot-initialized parameter (draws from the builder's Rng).
+  Value param_xavier(std::int64_t rows, std::int64_t cols,
+                     const std::string& name);
+  /// Zero-initialized parameter (biases).
+  Value param_zeros(std::int64_t rows, std::int64_t cols,
+                    const std::string& name);
+  /// Constant-initialized parameter.
+  Value param_full(std::int64_t rows, std::int64_t cols, float value,
+                   const std::string& name);
+  /// Normal(mean, stddev)-initialized parameter (draws from the Rng).
+  Value param_normal(std::int64_t rows, std::int64_t cols, float mean,
+                     float stddev, const std::string& name);
+
+  /// The Rng parameters are initialized from; throws when none was supplied.
+  Rng& rng();
+
+  // --- hierarchical naming -------------------------------------------------
+  /// RAII name scope: parameters and named ops created while a Scope is
+  /// alive are prefixed "outer.inner.". Empty segments are skipped, so an
+  /// anonymous module adds no prefix.
+  class Scope {
+   public:
+    Scope(GraphBuilder& g, const std::string& segment) : g_(g) {
+      g_.scopes_.push_back(segment);
+    }
+    ~Scope() { g_.scopes_.pop_back(); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    GraphBuilder& g_;
+  };
+
+  /// `local` under the current scope: "gat.layer0.W" for local "W".
+  /// Empty locals stay empty (the IR assigns operator default names).
+  std::string scoped(const std::string& local) const;
+
+  // --- finishing -----------------------------------------------------------
+  /// Marks `output` as the model output and releases the assembled
+  /// ModelGraph. The builder must not be used afterwards.
+  ModelGraph finish(const Value& output);
+
+  /// True once finish() released the ModelGraph; the builder (and every
+  /// Value minted from it) is no longer usable.
+  bool finished() const { return finished_; }
+
+  /// Escape hatch to the raw IR (tests, custom passes). The front-end checks
+  /// are bypassed when appending through it directly.
+  IrGraph& ir() { return model_.ir; }
+  const IrGraph& ir() const { return model_.ir; }
+
+ private:
+  friend class Value;
+  friend Value wrap_node(GraphBuilder& g, int id);
+
+  Value wrap(int id) { return Value(this, id); }
+
+  ModelGraph model_;
+  Rng* rng_ = nullptr;
+  std::vector<std::string> scopes_;
+  bool finished_ = false;
+};
+
+// --- graph operators (Scatter / Gather) -------------------------------------
+
+/// Generic scatter: edge value from endpoint vertex values. `b` is required
+/// exactly for the two-operand functions (AddUV/SubUV/MulUV/ConcatUV/DotUV).
+Value scatter(ScatterFn fn, const Value& a, const Value& b = Value(),
+              std::int64_t heads = 1, const std::string& name = "");
+Value copy_u(const Value& a, const std::string& name = "");
+Value copy_v(const Value& a, const std::string& name = "");
+Value u_add_v(const Value& a, const Value& b, const std::string& name = "");
+Value u_sub_v(const Value& a, const Value& b, const std::string& name = "");
+Value u_mul_v(const Value& a, const Value& b, const std::string& name = "");
+Value u_concat_v(const Value& a, const Value& b, const std::string& name = "");
+Value u_dot_v(const Value& a, const Value& b, std::int64_t heads = 1,
+              const std::string& name = "");
+
+/// Generic gather: vertex value reducing incident edge values. `reverse`
+/// reduces outgoing edges to the source instead (backward graphs).
+Value gather(ReduceFn fn, const Value& edges, bool reverse = false,
+             const std::string& name = "");
+Value gather_sum(const Value& edges, const std::string& name = "");
+Value gather_max(const Value& edges, const std::string& name = "");
+Value gather_mean(const Value& edges, const std::string& name = "");
+
+// --- applies -----------------------------------------------------------------
+
+/// x · W[wrow_lo:wrow_hi, :]. (0, 0) selects the full weight.
+Value linear(const Value& x, const Value& w, std::int64_t wrow_lo = 0,
+             std::int64_t wrow_hi = 0, const std::string& name = "");
+Value bias(const Value& x, const Value& b, const std::string& name = "");
+Value relu(const Value& x, const std::string& name = "");
+Value leaky_relu(const Value& x, float negative_slope = 0.2f,
+                 const std::string& name = "");
+Value elu(const Value& x, float alpha = 1.f, const std::string& name = "");
+Value exp(const Value& x, const std::string& name = "");
+Value neg(const Value& x, const std::string& name = "");
+Value scale(const Value& x, float alpha, const std::string& name = "");
+Value slice_cols(const Value& x, std::int64_t lo, std::int64_t hi,
+                 const std::string& name = "");
+Value add(const Value& a, const Value& b, const std::string& name = "");
+Value sub(const Value& a, const Value& b, const std::string& name = "");
+Value mul(const Value& a, const Value& b, const std::string& name = "");
+Value div(const Value& a, const Value& b, const std::string& name = "");
+/// Per-head scalar × feature block: a is (r, heads*f), b is (r, heads).
+Value mul_head(const Value& a, const Value& b, std::int64_t heads,
+               const std::string& name = "");
+/// Per-head dot product: both (r, heads*f), result (r, heads).
+Value dot_head(const Value& a, const Value& b, std::int64_t heads,
+               const std::string& name = "");
+/// (r, heads*f) -> (r, f): alpha * sum over heads.
+Value head_sum(const Value& x, std::int64_t heads, float alpha,
+               const std::string& name = "");
+/// (r, f) -> (r, heads*f): alpha * replicate across heads.
+Value head_broadcast(const Value& x, std::int64_t heads, float alpha,
+                     const std::string& name = "");
+
+// --- specials ----------------------------------------------------------------
+
+/// Built-in fused softmax over incoming edges (DGL-style).
+Value edge_softmax(const Value& score, const std::string& name = "");
+/// MoNet gaussian mixture weights w_k(e) from pseudo-coords and (mu, sigma)
+/// parameters of shape (kernels, pseudo_dim).
+Value gaussian(const Value& pseudo, const Value& mu, const Value& sigma,
+               const std::string& name = "");
+
+// --- operator sugar ----------------------------------------------------------
+
+inline Value operator+(const Value& a, const Value& b) { return add(a, b); }
+inline Value operator-(const Value& a, const Value& b) { return sub(a, b); }
+inline Value operator*(const Value& a, const Value& b) { return mul(a, b); }
+inline Value operator/(const Value& a, const Value& b) { return div(a, b); }
+inline Value operator-(const Value& x) { return neg(x); }
+
+}  // namespace triad::api

@@ -3,9 +3,17 @@
 namespace triad {
 
 std::string PlanKey::str() const {
-  return model + "|" + strategy + (training ? "|train|" : "|infer|") +
-         std::to_string(num_vertices) + "x" + std::to_string(num_edges) +
-         "|f" + std::to_string(feat_dim);
+  std::string key = model + "|" + strategy + (training ? "|train|" : "|infer|") +
+                    std::to_string(num_vertices) + "x" +
+                    std::to_string(num_edges) + "|f" +
+                    std::to_string(feat_dim) + "|K" + std::to_string(shards);
+  if (shards > 0) {
+    // The baked per-shard schedule depends on where the boundaries were
+    // drawn, so sharded artifacts must not alias across strategies.
+    key += "|P" + std::to_string(static_cast<int>(partition));
+  }
+  if (topology != 0) key += "|T" + std::to_string(topology);
+  return key;
 }
 
 PlanCache& PlanCache::global() {
@@ -32,7 +40,8 @@ void PlanCache::insert(const PlanKey& key,
 
 std::shared_ptr<const Compiled> PlanCache::get_or_compile(
     const PlanKey& key, const Strategy& s, bool training, const Graph& graph,
-    const std::function<ModelGraph()>& build) {
+    const std::function<ModelGraph()>& build, int shards,
+    PartitionStrategy partition) {
   const std::string k = key.str();
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -47,7 +56,7 @@ std::shared_ptr<const Compiled> PlanCache::get_or_compile(
   // keys. Same-key racers may compile concurrently; the first insert wins
   // and everyone is handed the winning artifact.
   auto compiled = std::make_shared<const Compiled>(
-      compile_model(build(), s, training, graph));
+      compile_model(build(), s, training, graph, shards, partition));
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.emplace(k, std::move(compiled)).first->second;
 }

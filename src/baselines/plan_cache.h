@@ -21,7 +21,8 @@ namespace triad {
 
 /// Identity of a compile artifact. `model` is the builder identity (name +
 /// hyperparameters); the rest pins the strategy, pass pipeline variant, the
-/// graph shape the plan was specialized for, and the input feature width.
+/// graph shape the plan was specialized for, the input feature width, and —
+/// when the plan bakes a per-shard schedule — the shard count.
 struct PlanKey {
   std::string model;
   std::string strategy;
@@ -29,6 +30,14 @@ struct PlanKey {
   std::int64_t num_vertices = 0;
   std::int64_t num_edges = 0;
   std::int64_t feat_dim = 0;
+  int shards = 0;  ///< K of the baked per-shard schedule (0 = unsharded)
+  /// How shard boundaries were drawn; only distinguishes keys when K > 0.
+  PartitionStrategy partition = PartitionStrategy::DegreeBalanced;
+  /// Graph::topology_fingerprint() of the graph the artifact was compiled
+  /// for. Unsharded plans are topology-independent (shape-specialized only)
+  /// and leave this 0 so equal-shape graphs share one compile; a sharded
+  /// plan bakes a Partitioning of ONE concrete adjacency and must set it.
+  std::uint64_t topology = 0;
 
   std::string str() const;
 };
@@ -45,10 +54,13 @@ class PlanCache {
   /// Compile-through lookup: on miss, builds the model via `build`, compiles
   /// it under `s` for `graph`, and caches the result. Compiles run outside
   /// the cache lock (hits on other keys are never blocked); same-key racers
-  /// may compile concurrently, and the first insert wins.
+  /// may compile concurrently, and the first insert wins. `shards` > 0 bakes
+  /// a K-way per-shard schedule into the cached plan (set `key.shards` to
+  /// match so sharded and unsharded artifacts never alias).
   std::shared_ptr<const Compiled> get_or_compile(
       const PlanKey& key, const Strategy& s, bool training, const Graph& graph,
-      const std::function<ModelGraph()>& build);
+      const std::function<ModelGraph()>& build, int shards = 0,
+      PartitionStrategy partition = PartitionStrategy::DegreeBalanced);
 
   std::size_t size() const;
   std::size_t hits() const;

@@ -104,15 +104,17 @@ ExecutionPlan ExecutionPlan::compile(IrGraph ir, std::int64_t num_vertices,
     for (int id = 0; id < n; ++id) {
       for (int f : p.steps_[id].free_after) {
         TRIAD_CHECK(f >= 0 && f < n, "free-list id " << f << " out of range");
-        TRIAD_CHECK(f <= id, "slot %" << f << " freed before step " << id);
-        TRIAD_CHECK(!freed[f], "slot %" << f << " freed twice");
+        TRIAD_CHECK(f <= id, "slot " << ir.describe(f)
+                                     << " freed before step " << ir.describe(id));
+        TRIAD_CHECK(!freed[f], "slot " << ir.describe(f) << " freed twice");
         freed[f] = 1;
-        TRIAD_CHECK(!p.is_output_[f], "output slot %" << f << " freed");
+        TRIAD_CHECK(!p.is_output_[f], "output slot " << ir.describe(f) << " freed");
         const OpKind k = ir.node(f).kind;
         TRIAD_CHECK(k != OpKind::Input && k != OpKind::Param,
-                    "bound slot %" << f << " freed");
+                    "bound slot " << ir.describe(f) << " freed");
         TRIAD_CHECK_EQ(last_consumer[f], id,
-                       "slot %" << f << " freed away from its last consumer");
+                       "slot " << ir.describe(f)
+                               << " freed away from its last consumer");
       }
     }
   }
@@ -282,9 +284,11 @@ void PlanRunner::set_partitioning(const Partitioning* part) {
 void PlanRunner::bind(int node, Tensor t) {
   const Node& n = ir().node(node);
   TRIAD_CHECK(n.kind == OpKind::Input || n.kind == OpKind::Param,
-              "bind target %" << node << " must be Input or Param");
-  TRIAD_CHECK_EQ(t.rows(), plan_->step(node).rows, "bind rows for " << n.name);
-  TRIAD_CHECK_EQ(t.cols(), n.cols, "bind cols for " << n.name);
+              "bind target " << ir().describe(node)
+                             << " must be Input or Param");
+  TRIAD_CHECK_EQ(t.rows(), plan_->step(node).rows,
+                 "bind rows for " << ir().describe(node));
+  TRIAD_CHECK_EQ(t.cols(), n.cols, "bind cols for " << ir().describe(node));
   slots_[node] = std::move(t);
 }
 
@@ -297,25 +301,27 @@ Tensor& PlanRunner::alloc_slot(int id) {
 
 const Tensor& PlanRunner::result(int node) const {
   TRIAD_CHECK(slots_[node].defined(),
-              "node %" << node << " (" << ir().node(node).name
-                       << ") has no live tensor");
+              "node " << ir().describe(node) << " has no live tensor");
   return slots_[node];
 }
 
 Tensor& PlanRunner::result_mut(int node) {
-  TRIAD_CHECK(slots_[node].defined(), "node %" << node << " has no live tensor");
+  TRIAD_CHECK(slots_[node].defined(),
+              "node " << ir().describe(node) << " has no live tensor");
   return slots_[node];
 }
 
 Tensor PlanRunner::take_result(int node) {
-  TRIAD_CHECK(slots_[node].defined(), "node %" << node << " has no live tensor");
+  TRIAD_CHECK(slots_[node].defined(),
+              "node " << ir().describe(node) << " has no live tensor");
   Tensor t = std::move(slots_[node]);
   slots_[node].reset();
   return t;
 }
 
 const IntTensor& PlanRunner::aux_of(int node) const {
-  TRIAD_CHECK(aux_[node].defined(), "node %" << node << " has no aux tensor");
+  TRIAD_CHECK(aux_[node].defined(),
+              "node " << ir().describe(node) << " has no aux tensor");
   return aux_[node];
 }
 

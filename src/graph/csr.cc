@@ -54,6 +54,25 @@ Graph::Graph(std::int64_t num_vertices, std::vector<Edge> edges)
   }
 }
 
+std::uint64_t Graph::topology_fingerprint() const {
+  // FNV-1a over (|V|, edge list in id order): edge identity is part of the
+  // topology (edge-space tensors are indexed by edge id).
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t x) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (x >> (8 * b)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(n_));
+  for (std::int64_t e = 0; e < m_; ++e) {
+    mix((static_cast<std::uint64_t>(static_cast<std::uint32_t>(edge_src_[e]))
+         << 32) |
+        static_cast<std::uint32_t>(edge_dst_[e]));
+  }
+  return h;
+}
+
 std::string Graph::stats() const {
   std::ostringstream os;
   const double avg = n_ > 0 ? static_cast<double>(m_) / static_cast<double>(n_) : 0.0;

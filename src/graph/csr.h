@@ -59,6 +59,15 @@ class Graph {
   /// Human-readable |V|/|E|/degree summary.
   std::string stats() const;
 
+  /// 64-bit FNV-1a hash of the adjacency (edge list in id order). Two graphs
+  /// with equal |V|/|E| but different topology get different fingerprints
+  /// (up to hash collision) — the cache-key ingredient for artifacts that
+  /// bake topology-dependent state, e.g. a sharded plan's Partitioning.
+  /// Computed on demand, O(|E|) per call, and only by topology-pinned cache
+  /// keys (sharded compiles) — hot paths that churn Graphs, like the serving
+  /// collator building one per batch, never pay for it.
+  std::uint64_t topology_fingerprint() const;
+
  private:
   std::int64_t n_ = 0;
   std::int64_t m_ = 0;

@@ -126,7 +126,9 @@ int IrGraph::scatter(ScatterFn fn, int a, int b, const std::string& name,
   n.sfn = fn;
   n.heads = heads;
   n.name = name.empty() ? to_string(fn) : name;
-  TRIAD_CHECK(na.space == Space::Vertex, "scatter input a must be vertex-space");
+  TRIAD_CHECK(na.space == Space::Vertex,
+              "scatter '" << n.name << "': input a must be vertex-space, got "
+                          << describe(a));
   switch (fn) {
     case ScatterFn::CopyU:
     case ScatterFn::CopyV:
@@ -137,8 +139,12 @@ int IrGraph::scatter(ScatterFn fn, int a, int b, const std::string& name,
     case ScatterFn::SubUV:
     case ScatterFn::MulUV: {
       const Node& nb = node(b);
-      TRIAD_CHECK(nb.space == Space::Vertex, "scatter input b must be vertex-space");
-      TRIAD_CHECK_EQ(na.cols, nb.cols, "scatter operand widths");
+      TRIAD_CHECK(nb.space == Space::Vertex,
+                  "scatter '" << n.name << "': input b must be vertex-space, got "
+                              << describe(b));
+      TRIAD_CHECK_EQ(na.cols, nb.cols,
+                     "scatter '" << n.name << "' operand widths: " << describe(a)
+                                 << " vs " << describe(b));
       n.inputs = {a, b};
       n.cols = na.cols;
       break;
@@ -165,7 +171,9 @@ int IrGraph::scatter(ScatterFn fn, int a, int b, const std::string& name,
 int IrGraph::gather(ReduceFn fn, int edge_in, bool reverse,
                     const std::string& name) {
   const Node& ne = node(edge_in);
-  TRIAD_CHECK(ne.space == Space::Edge, "gather input must be edge-space");
+  TRIAD_CHECK(ne.space == Space::Edge,
+              "gather '" << name << "': input must be edge-space, got "
+                         << describe(edge_in));
   Node n;
   n.kind = OpKind::Gather;
   n.space = Space::Vertex;
@@ -218,7 +226,8 @@ int IrGraph::apply_binary(ApplyFn fn, int a, int b, const std::string& name,
   const Node& na = node(a);
   const Node& nb = node(b);
   TRIAD_CHECK(na.space == nb.space,
-              "binary apply across spaces: " << na.name << " vs " << nb.name);
+              "binary apply '" << name << "' across spaces: " << describe(a)
+                               << " vs " << describe(b));
   Node n;
   n.kind = OpKind::Apply;
   n.space = na.space;
@@ -239,7 +248,9 @@ int IrGraph::apply_binary(ApplyFn fn, int a, int b, const std::string& name,
       n.cols = heads;
       break;
     default:
-      TRIAD_CHECK_EQ(na.cols, nb.cols, "binary apply widths");
+      TRIAD_CHECK_EQ(na.cols, nb.cols,
+                     "binary apply '" << name << "' widths: " << describe(a)
+                                      << " vs " << describe(b));
       n.cols = na.cols;
   }
   return append(std::move(n));
@@ -250,7 +261,9 @@ int IrGraph::linear(int x, int w, std::int64_t wrow_lo, std::int64_t wrow_hi,
   const Node& nx = node(x);
   const Node& nw = node(w);
   if (wrow_hi == 0) wrow_hi = nw.rows;
-  TRIAD_CHECK_EQ(nx.cols, wrow_hi - wrow_lo, "linear input width vs weight rows");
+  TRIAD_CHECK_EQ(nx.cols, wrow_hi - wrow_lo,
+                 "linear '" << name << "': input width of " << describe(x)
+                            << " vs selected weight rows of " << describe(w));
   Node n;
   n.kind = OpKind::Apply;
   n.space = nx.space;
@@ -310,6 +323,24 @@ int IrGraph::special(SpecialFn fn, std::vector<int> inputs, std::int64_t rows,
   return append(std::move(n));
 }
 
+std::string IrGraph::describe(int id) const {
+  if (id < 0 || id >= size()) {
+    return "%" + std::to_string(id) + " <no such node>";
+  }
+  const Node& n = nodes_[static_cast<std::size_t>(id)];
+  std::ostringstream os;
+  os << "%" << id << " " << to_string(n.kind);
+  switch (n.kind) {
+    case OpKind::Scatter: os << "." << to_string(n.sfn); break;
+    case OpKind::Gather: os << "." << to_string(n.rfn); break;
+    case OpKind::Apply: os << "." << to_string(n.afn); break;
+    case OpKind::Special: os << "." << to_string(n.spfn); break;
+    default: break;
+  }
+  if (!n.name.empty()) os << " '" << n.name << "'";
+  return os.str();
+}
+
 std::string IrGraph::dump() const {
   std::ostringstream os;
   for (const Node& n : nodes_) {
@@ -342,33 +373,40 @@ void IrGraph::validate(std::int64_t num_vertices, std::int64_t num_edges) const 
   (void)num_edges;
   for (const Node& n : nodes_) {
     for (int in : n.inputs) {
-      TRIAD_CHECK(in >= 0 && in < n.id, "topology violated at node " << n.id);
+      TRIAD_CHECK(in >= 0 && in < n.id,
+                  "topology violated: " << describe(n.id) << " consumes "
+                                        << describe(in));
     }
-    TRIAD_CHECK_GE(n.cols, 0, "node " << n.id << " has negative width");
+    TRIAD_CHECK_GE(n.cols, 0, "node " << describe(n.id) << " has negative width");
     if (n.kind == OpKind::Fused) {
       TRIAD_CHECK(n.program >= 0 && n.program < static_cast<int>(programs.size()),
-                  "fused node " << n.id << " has no program");
+                  "node " << describe(n.id) << " has no program");
       // Cross-references must survive id compaction: every output slot and
       // every instruction tensor operand has to name a live node.
       const EdgeProgram& ep = programs[n.program];
       for (const VertexOutput& vo : ep.vertex_outputs) {
         TRIAD_CHECK(vo.node >= 0 && vo.node < size() &&
                         node(vo.node).kind == OpKind::FusedOut,
-                    "program " << n.program << " vertex output " << vo.node
+                    "program " << n.program << " of " << describe(n.id)
+                               << ": vertex output " << describe(vo.node)
                                << " is not a FusedOut");
         TRIAD_CHECK_EQ(node(vo.node).inputs.at(0), n.id,
-                       "vertex output detached from its fused node");
+                       "vertex output " << describe(vo.node)
+                                        << " detached from its fused node "
+                                        << describe(n.id));
       }
       for (const EdgeOutput& eo : ep.edge_outputs) {
         TRIAD_CHECK(eo.node >= 0 && eo.node < size() &&
                         node(eo.node).kind == OpKind::FusedOut,
-                    "program " << n.program << " edge output " << eo.node
+                    "program " << n.program << " of " << describe(n.id)
+                               << ": edge output " << describe(eo.node)
                                << " is not a FusedOut");
       }
       for (const EPPhase& ph : ep.phases) {
         for (const EPInstr& in : ph.instrs) {
           for (int t : {in.tensor, in.tensor2}) {
-            TRIAD_CHECK(t < size(), "program " << n.program
+            TRIAD_CHECK(t < size(), "program " << n.program << " of "
+                                               << describe(n.id)
                                                << " references node " << t
                                                << " past the graph");
           }

@@ -175,6 +175,10 @@ class IrGraph {
   /// Multi-line human dump (tests / debugging).
   std::string dump() const;
 
+  /// One-line reference for diagnostics: `%id Kind.fn 'name'`. Safe for any
+  /// id (out-of-range ids are described as such, never dereferenced).
+  std::string describe(int id) const;
+
   /// Validates topological order, shapes and space rules; throws on error.
   void validate(std::int64_t num_vertices, std::int64_t num_edges) const;
 

@@ -2,181 +2,28 @@
 
 #include <cmath>
 
+#include "api/models.h"
+
 namespace triad {
 
-namespace {
-
-int add_param(ModelGraph& m, std::int64_t rows, std::int64_t cols,
-              const std::string& name, Tensor init) {
-  const int id = m.ir.param(rows, cols, name);
-  m.params.push_back(id);
-  m.init.push_back(std::move(init));
-  return id;
-}
-
-}  // namespace
+// The legacy builders are thin shims over the api:: modules — one front-end,
+// two spellings. tests/test_api.cc asserts the IR is bit-identical through
+// either path under both ours() and naive().
 
 ModelGraph build_gcn(const GcnConfig& cfg, Rng& rng) {
-  ModelGraph m;
-  m.features = m.ir.input(Space::Vertex, 0, cfg.in_dim, "features");
-  std::int64_t f_in = cfg.in_dim;
-  int h = m.features;
-  std::vector<std::int64_t> dims = cfg.hidden;
-  dims.push_back(cfg.num_classes);
-  for (std::size_t l = 0; l < dims.size(); ++l) {
-    const std::int64_t f_out = dims[l];
-    const std::string suffix = std::to_string(l);
-    const int w = add_param(m, f_in, f_out, "W" + suffix,
-                            Tensor::xavier(f_in, f_out, rng));
-    const int b = add_param(m, 1, f_out, "b" + suffix,
-                            Tensor::zeros(1, f_out, MemTag::kWeights));
-    const int proj = m.ir.linear(h, w, 0, 0, "proj" + suffix);
-    const int msg = m.ir.scatter(ScatterFn::CopyU, proj, -1, "msg" + suffix);
-    const int agg = m.ir.gather(ReduceFn::Sum, msg, false, "agg" + suffix);
-    h = m.ir.bias(agg, b, "bias" + suffix);
-    if (l + 1 < dims.size()) {
-      h = m.ir.apply_unary(ApplyFn::ReLU, h, 0.f, "relu" + suffix);
-    }
-    f_in = f_out;
-  }
-  m.output = h;
-  m.ir.mark_output(h);
-  return m;
+  return api::Gcn(cfg).build(rng);
 }
 
 ModelGraph build_gat(const GatConfig& cfg, Rng& rng) {
-  ModelGraph m;
-  m.features = m.ir.input(Space::Vertex, 0, cfg.in_dim, "features");
-  std::int64_t f_in = cfg.in_dim;
-  int h = m.features;
-  for (std::int64_t l = 0; l < cfg.layers; ++l) {
-    const bool last = l + 1 == cfg.layers;
-    const bool head_layer = last && cfg.classify_last;
-    const std::int64_t heads = head_layer ? 1 : cfg.heads;
-    const std::int64_t f_out = head_layer ? cfg.num_classes : cfg.hidden;
-    const std::int64_t hf = heads * f_out;
-    const std::string sfx = std::to_string(l);
-
-    const int w = add_param(m, f_in, hf, "W" + sfx, Tensor::xavier(f_in, hf, rng));
-    // Attention projection aᵀ[h̃u ‖ h̃v]: one (2hf, heads) weight, shared by
-    // the naive and the reorganized form (row windows).
-    const int a = add_param(m, 2 * hf, heads, "A" + sfx,
-                            Tensor::xavier(2 * hf, heads, rng));
-    const int b = add_param(m, 1, hf, "b" + sfx,
-                            Tensor::zeros(1, hf, MemTag::kWeights));
-
-    const int ht = m.ir.linear(h, w, 0, 0, "feat_proj" + sfx);
-    int score;
-    if (cfg.prereorganized) {
-      const int al = m.ir.linear(ht, a, 0, hf, "aL" + sfx);
-      const int ar = m.ir.linear(ht, a, hf, 2 * hf, "aR" + sfx);
-      score = m.ir.scatter(ScatterFn::AddUV, al, ar, "u_add_v" + sfx);
-    } else {
-      const int cat = m.ir.scatter(ScatterFn::ConcatUV, ht, ht, "u_concat_v" + sfx);
-      score = m.ir.linear(cat, a, 0, 0, "att_proj" + sfx);
-    }
-    const int lrelu = m.ir.apply_unary(ApplyFn::LeakyReLU, score,
-                                       cfg.negative_slope, "leaky" + sfx);
-    int att;
-    if (cfg.builtin_softmax) {
-      att = m.ir.special(SpecialFn::EdgeSoftmax, {lrelu}, 0, heads, Space::Edge,
-                         "edge_softmax" + sfx);
-    } else {
-      const int mx = m.ir.gather(ReduceFn::Max, lrelu, false, "softmax_max" + sfx);
-      const int mxe = m.ir.scatter(ScatterFn::CopyV, mx, -1, "bcast_max" + sfx);
-      const int shift = m.ir.apply_binary(ApplyFn::Sub, lrelu, mxe, "shift" + sfx);
-      const int ex = m.ir.apply_unary(ApplyFn::Exp, shift, 0.f, "exp" + sfx);
-      const int dn = m.ir.gather(ReduceFn::Sum, ex, false, "softmax_den" + sfx);
-      const int dne = m.ir.scatter(ScatterFn::CopyV, dn, -1, "bcast_den" + sfx);
-      att = m.ir.apply_binary(ApplyFn::Div, ex, dne, "softmax" + sfx);
-    }
-    const int src = m.ir.scatter(ScatterFn::CopyU, ht, -1, "copy_feat" + sfx);
-    const int weighted =
-        m.ir.apply_binary(ApplyFn::MulHead, src, att, "weight" + sfx, heads);
-    const int agg = m.ir.gather(ReduceFn::Sum, weighted, false, "aggregate" + sfx);
-    int outv = m.ir.bias(agg, b, "bias" + sfx);
-    if (!last) outv = m.ir.apply_unary(ApplyFn::ELU, outv, 1.f, "elu" + sfx);
-    h = outv;
-    f_in = hf;
-  }
-  m.output = h;
-  m.ir.mark_output(h);
-  return m;
+  return api::Gat(cfg).build(rng);
 }
 
 ModelGraph build_edgeconv(const EdgeConvConfig& cfg, Rng& rng) {
-  ModelGraph m;
-  m.features = m.ir.input(Space::Vertex, 0, cfg.in_dim, "features");
-  std::int64_t f_in = cfg.in_dim;
-  int h = m.features;
-  for (std::size_t l = 0; l < cfg.hidden.size(); ++l) {
-    const std::int64_t f_out = cfg.hidden[l];
-    const std::string sfx = std::to_string(l);
-    const int theta = add_param(m, f_in, f_out, "Theta" + sfx,
-                                Tensor::xavier(f_in, f_out, rng));
-    const int phi = add_param(m, f_in, f_out, "Phi" + sfx,
-                              Tensor::xavier(f_in, f_out, rng));
-    // Paper order (Fig. 12(e)): Scatter u_sub_v, then the expensive Linear on
-    // edges — the redundancy ReorgPass removes.
-    const int diff = m.ir.scatter(ScatterFn::SubUV, h, h, "u_sub_v" + sfx);
-    const int etheta = m.ir.linear(diff, theta, 0, 0, "theta_proj" + sfx);
-    const int nphi = m.ir.linear(h, phi, 0, 0, "phi_proj" + sfx);
-    const int nphi_e = m.ir.scatter(ScatterFn::CopyV, nphi, -1, "bcast_phi" + sfx);
-    const int combined = m.ir.apply_binary(ApplyFn::Add, etheta, nphi_e,
-                                           "e_add_v" + sfx);
-    const int pooled = m.ir.gather(ReduceFn::Max, combined, false,
-                                   "reduce_max" + sfx);
-    h = m.ir.apply_unary(ApplyFn::LeakyReLU, pooled, cfg.negative_slope,
-                         "act" + sfx);
-    f_in = f_out;
-  }
-  if (cfg.classify) {
-    const int wc = add_param(m, f_in, cfg.num_classes, "Wcls",
-                             Tensor::xavier(f_in, cfg.num_classes, rng));
-    const int bc = add_param(m, 1, cfg.num_classes, "bcls",
-                             Tensor::zeros(1, cfg.num_classes, MemTag::kWeights));
-    h = m.ir.bias(m.ir.linear(h, wc, 0, 0, "classifier"), bc, "blogits");
-  }
-  m.output = h;
-  m.ir.mark_output(h);
-  return m;
+  return api::EdgeConv(cfg).build(rng);
 }
 
 ModelGraph build_monet(const MoNetConfig& cfg, Rng& rng) {
-  ModelGraph m;
-  m.features = m.ir.input(Space::Vertex, 0, cfg.in_dim, "features");
-  m.pseudo = m.ir.input(Space::Edge, 0, cfg.pseudo_dim, "pseudo");
-  std::int64_t f_in = cfg.in_dim;
-  int h = m.features;
-  const std::int64_t k = cfg.kernels;
-  for (std::int64_t l = 0; l < cfg.layers; ++l) {
-    const bool last = l + 1 == cfg.layers;
-    const std::int64_t f_out =
-        last && cfg.classify_last ? cfg.num_classes : cfg.hidden;
-    const std::string sfx = std::to_string(l);
-    Tensor mu0(k, cfg.pseudo_dim, MemTag::kWeights);
-    for (auto& v : mu0.flat()) v = rng.normalf(0.f, 0.3f);
-    const int mu = add_param(m, k, cfg.pseudo_dim, "mu" + sfx, std::move(mu0));
-    const int sigma = add_param(m, k, cfg.pseudo_dim, "sigma" + sfx,
-                                Tensor::full(k, cfg.pseudo_dim, 1.f, MemTag::kWeights));
-    const int w = add_param(m, f_in, k * f_out, "W" + sfx,
-                            Tensor::xavier(f_in, k * f_out, rng));
-    const int gw = m.ir.special(SpecialFn::Gaussian, {m.pseudo, mu, sigma}, 0, k,
-                                Space::Edge, "gaussian" + sfx);
-    const int hw = m.ir.linear(h, w, 0, 0, "kernel_proj" + sfx);
-    const int src = m.ir.scatter(ScatterFn::CopyU, hw, -1, "copy_kproj" + sfx);
-    const int contrib =
-        m.ir.apply_binary(ApplyFn::MulHead, src, gw, "kweight" + sfx, k);
-    const int agg = m.ir.gather(ReduceFn::Sum, contrib, false, "aggregate" + sfx);
-    int outv = m.ir.apply_head(ApplyFn::HeadSum, agg, k,
-                               1.f / static_cast<float>(k), "mix" + sfx);
-    if (!last) outv = m.ir.apply_unary(ApplyFn::ReLU, outv, 0.f, "relu" + sfx);
-    h = outv;
-    f_in = f_out;
-  }
-  m.output = h;
-  m.ir.mark_output(h);
-  return m;
+  return api::MoNet(cfg).build(rng);
 }
 
 Tensor make_pseudo_coords(const Graph& g, std::int64_t dim) {

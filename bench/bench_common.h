@@ -50,6 +50,7 @@ struct Options {
   int shards = 0;            ///< K-way sharded execution (0 = unsharded)
   int threads = 0;           ///< global pool size override (0 = auto)
   unsigned seed = 42;
+  bool specialize = true;    ///< bind specialized kernel cores (--no-specialize)
   bool json = true;          ///< emit BENCH_<name>.json
   std::string json_dir = "."; ///< where to write it
   std::string dump_ir;       ///< write one DOT file per pipeline stage here
@@ -68,6 +69,7 @@ struct Options {
       if (const char* v = val("--seed")) o.seed = static_cast<unsigned>(std::atoi(v));
       if (const char* v = val("--json-dir")) o.json_dir = v;
       if (const char* v = val("--dump-ir")) o.dump_ir = v;
+      if (std::strcmp(argv[i], "--no-specialize") == 0) o.specialize = false;
       if (std::strcmp(argv[i], "--no-json") == 0) o.json = false;
       if (std::strcmp(argv[i], "--full") == 0) {
         o.scale = 1.0;
@@ -132,6 +134,13 @@ inline std::shared_ptr<const Compiled> engine_compile(
     const Graph& g, const Options& opt) {
   api::CompileOptions co;
   co.strategy = s;
+  if (!opt.specialize && co.strategy.specialize) {
+    // Interpreter-only ablation run. The name suffix matters beyond display:
+    // the plan cache keys on the strategy name, so specialized and
+    // interpreter-only artifacts must never alias.
+    co.strategy.specialize = false;
+    co.strategy.name += "(-specialize)";
+  }
   co.shards = opt.shards;
   co.init_seed = opt.seed + 1;
   return api::Engine(co).compile(std::move(module)).compiled(g, training);
@@ -310,6 +319,7 @@ class JsonReport {
           "\"io_bytes\": %llu, \"peak_bytes\": %zu, "
           "\"kernel_launches\": %llu, \"atomic_ops\": %llu, "
           "\"flops\": %llu, \"combine_bytes\": %llu, "
+          "\"specialized_edges\": %llu, \"interpreted_edges\": %llu, "
           "\"shards\": %d, \"shard_peak_bytes\": %zu, "
           "\"speedup\": %.4f, \"mem_ratio\": %.4f%s%s}%s\n",
           r.workload.c_str(), r.strategy.c_str(), r.m.seconds,
@@ -319,6 +329,8 @@ class JsonReport {
           static_cast<unsigned long long>(r.m.counters.atomic_ops),
           static_cast<unsigned long long>(r.m.counters.flops),
           static_cast<unsigned long long>(r.m.counters.combine_bytes),
+          static_cast<unsigned long long>(r.m.counters.specialized_edges),
+          static_cast<unsigned long long>(r.m.counters.interpreted_edges),
           r.m.shards, r.m.shard_peak_bytes, speedup, mem_ratio,
           r.extra.empty() ? "" : ", ", r.extra.c_str(),
           i + 1 < rows_.size() ? "," : "");

@@ -69,6 +69,13 @@ Strategy ours_no_optimize() {
   return s;
 }
 
+Strategy ours_no_specialize() {
+  Strategy s = ours();
+  s.name = "Ours(-specialize)";
+  s.specialize = false;
+  return s;
+}
+
 namespace {
 
 int find_by_name(const IrGraph& g, const std::string& name) {
@@ -171,10 +178,31 @@ Compiled compile_model(ModelGraph model, const Strategy& s, bool training,
     // The plan keeps its own immutable copy of the graph; Compiled::ir stays
     // populated alongside it so introspection code works uniformly whether
     // or not a plan was baked.
-    c.plan =
-        ExecutionPlan::compile_shared(ir, num_vertices, num_edges, partition.get());
+    c.plan = ExecutionPlan::compile_shared(ir, num_vertices, num_edges,
+                                           partition.get(), s.specialize);
     c.stats.plan_seconds = c.plan->compile_seconds();
     c.partition = std::move(partition);
+    // Surface the core-selection outcome in the compile report: one entry per
+    // chosen core label (hits = programs bound), "interpreter" counting the
+    // fallbacks. Recorded directly — selection time is already inside
+    // plan_seconds, and this is not an IR pass (no ir_passes charge).
+    if (!c.plan->cores().empty()) {
+      PassInfo spec;
+      spec.name = "specialize";
+      spec.nodes_before = spec.nodes_after = ir.size();
+      for (const CoreBinding& cb : c.plan->cores()) {
+        const std::string label =
+            cb.specialized() ? cb.label() : std::string("interpreter");
+        auto it = std::find_if(spec.rules.begin(), spec.rules.end(),
+                               [&](const RuleStat& r) { return r.rule == label; });
+        if (it == spec.rules.end()) {
+          spec.rules.push_back(RuleStat{label, 1});
+        } else {
+          ++it->hits;
+        }
+      }
+      c.stats.passes.push_back(std::move(spec));
+    }
   }
   c.ir = std::move(ir);
   return c;

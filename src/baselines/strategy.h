@@ -52,6 +52,10 @@ struct Strategy {
   FusionMode fusion = FusionMode::None;
   WorkMapping mapping = WorkMapping::VertexBalanced;
   bool recompute = false;
+  /// Bind specialized kernel cores to matched edge programs at plan-compile
+  /// time (engine/specialize.h). On for every preset — output is bit-identical
+  /// either way — with ours_no_specialize() as the ablation point.
+  bool specialize = true;
 };
 
 Strategy dgl_like();
@@ -62,6 +66,7 @@ Strategy ours_no_reorg();
 Strategy ours_no_fusion();
 Strategy ours_fusion_stash();  ///< fusion without recomputation (Fig. 10 middle)
 Strategy ours_no_optimize();   ///< generic optimizer off (compile-cost ablation)
+Strategy ours_no_specialize(); ///< interpreter-only edge programs (kernel-core ablation)
 
 /// Compile-phase accounting: per-pass wall time (from the PassManager) plus
 /// the ExecutionPlan build time. The benchmark harness reports this

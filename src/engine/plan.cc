@@ -34,7 +34,7 @@ MemTag tag_of(const Node& n, int last_consumer, int backward_start) {
 
 ExecutionPlan ExecutionPlan::compile(IrGraph ir, std::int64_t num_vertices,
                                      std::int64_t num_edges,
-                                     const Partitioning* part) {
+                                     const Partitioning* part, bool specialize) {
   Timer timer;
   ir.validate(num_vertices, num_edges);
   if (part != nullptr) {
@@ -234,6 +234,16 @@ ExecutionPlan ExecutionPlan::compile(IrGraph ir, std::int64_t num_vertices,
     }
   }
 
+  // Kernel specialization: bind a hand-written core to every edge program the
+  // matcher recognizes. Pure compile-time work — the runner just dispatches on
+  // the stored binding, and kind == None means the interpreter.
+  p.cores_.resize(ir.programs.size());
+  if (specialize) {
+    for (std::size_t i = 0; i < ir.programs.size(); ++i) {
+      p.cores_[i] = match_core(ir.programs[i]);
+    }
+  }
+
   p.ir_ = std::move(ir);
   p.compile_seconds_ = timer.seconds();
   ++global_counters().plan_compiles;
@@ -242,9 +252,9 @@ ExecutionPlan ExecutionPlan::compile(IrGraph ir, std::int64_t num_vertices,
 
 std::shared_ptr<const ExecutionPlan> ExecutionPlan::compile_shared(
     IrGraph ir, std::int64_t num_vertices, std::int64_t num_edges,
-    const Partitioning* part) {
+    const Partitioning* part, bool specialize) {
   return std::make_shared<const ExecutionPlan>(
-      compile(std::move(ir), num_vertices, num_edges, part));
+      compile(std::move(ir), num_vertices, num_edges, part, specialize));
 }
 
 std::size_t ExecutionPlan::max_shard_peak_bytes() const {
@@ -538,10 +548,11 @@ void PlanRunner::exec_fused(const Node& n) {
   b.out = [this](int id) -> Tensor& { return result_mut(id); };
   b.out_aux = [this](int id) -> IntTensor& { return aux_[id]; };
   b.pool = pool_;
+  const CoreBinding* core = &plan_->core(n.program);
   if (partition_ != nullptr) {
-    run_edge_program_sharded(graph_, *partition_, ep, b);
+    run_edge_program_sharded(graph_, *partition_, ep, b, core);
   } else {
-    run_edge_program(graph_, ep, b);
+    run_edge_program(graph_, ep, b, core);
   }
 }
 

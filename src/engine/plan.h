@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "engine/specialize.h"
 #include "graph/csr.h"
 #include "graph/partition.h"
 #include "ir/graph.h"
@@ -60,13 +61,16 @@ class ExecutionPlan {
   /// Compiles `ir` against the graph dimensions: validates, classifies, and
   /// precomputes the schedule. When a Partitioning is supplied the plan also
   /// carries a per-shard schedule (scaled footprints + per-shard peak
-  /// estimates). The plan is immutable afterwards.
+  /// estimates). `specialize` runs the core matcher over every edge program
+  /// (see engine/specialize.h); false pins everything to the interpreter (the
+  /// ablation knob). The plan is immutable afterwards.
   static ExecutionPlan compile(IrGraph ir, std::int64_t num_vertices,
                                std::int64_t num_edges,
-                               const Partitioning* part = nullptr);
+                               const Partitioning* part = nullptr,
+                               bool specialize = true);
   static std::shared_ptr<const ExecutionPlan> compile_shared(
       IrGraph ir, std::int64_t num_vertices, std::int64_t num_edges,
-      const Partitioning* part = nullptr);
+      const Partitioning* part = nullptr, bool specialize = true);
 
   ExecutionPlan(ExecutionPlan&&) = default;
   ExecutionPlan& operator=(ExecutionPlan&&) = default;
@@ -106,6 +110,12 @@ class ExecutionPlan {
   /// Wall time compile() spent building this plan.
   double compile_seconds() const { return compile_seconds_; }
 
+  /// Core binding selected for edge program `program` (kind == None when the
+  /// matcher declined it or the plan was compiled with specialize=false).
+  const CoreBinding& core(int program) const { return cores_[program]; }
+  /// One entry per IrGraph program, parallel to ir().programs.
+  const std::vector<CoreBinding>& cores() const { return cores_; }
+
  private:
   ExecutionPlan() = default;
 
@@ -118,6 +128,7 @@ class ExecutionPlan {
   std::size_t persistent_bytes_ = 0;
   std::size_t estimated_peak_bytes_ = 0;
   std::vector<ShardSchedule> shards_;
+  std::vector<CoreBinding> cores_;  ///< per-program, parallel to ir().programs
   double compile_seconds_ = 0.0;
 };
 

@@ -1,0 +1,105 @@
+/// \file
+/// Kernel specialization: binding hand-written cores to EdgePrograms.
+///
+/// The VM interprets an EdgeProgram per edge — pre-resolved pointers, but
+/// still an opcode dispatch and a register indirection per instruction per
+/// edge. The optimizer only ever produces a handful of post-fusion program
+/// shapes for the stock models, so at plan-compile time `match_core` pattern
+/// matches each program against those shapes and, on a hit, records a
+/// CoreBinding. At run time the VM executes the bound core — a flat,
+/// width-templated C++ loop with restrict pointers and cache-blocked CSR
+/// traversal (see engine/cores/) — instead of the interpreter.
+///
+/// Contract: a specialized core evaluates the exact same floating-point
+/// expressions in the exact same order as the interpreter (same edge order,
+/// same association, no FMA contraction — the build pins -ffp-contract=off),
+/// so specialized output is bit-identical to interpreted output, sharded or
+/// not. Matchers only accept programs whose reductions are all sequential
+/// (worker-owned, zero atomics); anything with a boundary stash, an edge
+/// output, or an unrecognized instruction sequence falls back to the
+/// interpreter unchanged. Selection is observable: PerfCounters counts
+/// specialized vs interpreted edges, and the compile report lists the core
+/// chosen per program (the `specialize` entry of `compile_passes`).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/csr.h"
+#include "ir/edge_program.h"
+
+namespace triad {
+
+struct VmBindings;  // engine/vm.h
+
+/// The program shapes with a hand-written core. Names follow the model whose
+/// hot path produces the shape; the match is structural, so any program with
+/// the same instruction DAG binds the same core.
+enum class CoreKind : std::uint8_t {
+  None,         ///< no match — interpret
+  GcnWsum,      ///< single Load(other) + Sum reduce (GCN weighted sum)
+  GatSoftmax,   ///< 3-phase max / exp-sum / normalize-weighted gather
+  EdgeConvMax,  ///< (x_u - x_v + y_v) Max reduce with argmax
+  MoNetGauss,   ///< gaussian-weighted MulHead gather
+};
+
+const char* to_string(CoreKind kind);
+
+/// A matched core plus everything its loops need that the interpreter would
+/// re-derive per edge: tensor ids to resolve against VmBindings, the scalar
+/// immediates, and the template width the dispatcher selected.
+struct CoreBinding {
+  CoreKind kind = CoreKind::None;
+  /// Hot inner-loop width (per-head feature width for head-structured cores,
+  /// the full output width otherwise) — what the W-template specializes on.
+  std::int64_t hot_width = 0;
+  /// Chosen template instantiation: 16, 32, or 64; 0 = runtime-width
+  /// fallback core (still specialized, still bit-identical).
+  int template_width = 0;
+
+  // Tensor ids (post-fusion IR node ids), resolved via VmBindings per run.
+  int t_feat = -1;   ///< gathered feature rows (all cores)
+  int t_a = -1;      ///< GAT a_l / EdgeConv v-side Sub operand / MoNet pseudo
+  int t_b = -1;      ///< GAT a_r / EdgeConv v-side Add operand / MoNet mu
+  int t_c = -1;      ///< MoNet sigma
+  float alpha = 0.f; ///< GAT LeakyReLU negative slope
+  std::int64_t heads = 1;  ///< GAT heads / MoNet mixture size
+
+  bool specialized() const { return kind != CoreKind::None; }
+  /// Label used in the compile report, e.g. "gat_softmax/w64" (template
+  /// width) or "gcn_wsum/dyn" (runtime-width fallback).
+  std::string label() const;
+};
+
+/// Structural matcher, run once per program at plan-compile time. Verifies
+/// the full instruction sequence — opcodes, register wiring, widths, tensor
+/// consistency across phases, and that every reduction is sequential — and
+/// returns kind == None (interpreter fallback) on any mismatch.
+CoreBinding match_core(const EdgeProgram& ep);
+
+/// Runs the bound core over owned vertices [v_lo, v_hi) of the program's
+/// primary orientation. `args` must come from resolve_core_args for this
+/// (binding, bindings) pair. Serial — callers provide the parallelism, like
+/// the interpreter's walk_vertex_range.
+struct CoreArgs {
+  const float* feat = nullptr;
+  std::int64_t feat_cols = 0;
+  const float* a = nullptr;
+  std::int64_t a_cols = 0;
+  const float* b = nullptr;
+  const float* c = nullptr;
+  std::int64_t b_cols = 0;  ///< b row stride; MoNet: mu/sigma pseudo dim r
+  float* out0 = nullptr;    ///< vertex_outputs[0] rows
+  float* out1 = nullptr;    ///< vertex_outputs[1] rows (GAT)
+  float* out2 = nullptr;    ///< vertex_outputs[2] rows (GAT)
+  std::int32_t* aux0 = nullptr;  ///< argmax aux of vertex_outputs[0]
+};
+
+CoreArgs resolve_core_args(const CoreBinding& cb, const EdgeProgram& ep,
+                           const VmBindings& b);
+
+void run_core_range(const Graph& g, const EdgeProgram& ep,
+                    const CoreBinding& cb, const CoreArgs& args,
+                    std::int64_t v_lo, std::int64_t v_hi);
+
+}  // namespace triad

@@ -59,6 +59,11 @@ struct WorkerState {
   std::vector<std::int64_t> count;
 };
 
+// Sizes the worker scratch without zero-filling it: every buffer is fully
+// written before it is read (registers are SSA per edge; accumulators and
+// argmax slots are fill_n-initialized per vertex-phase; counts are reset per
+// phase), so resize-only lets one thread-local WorkerState be reused across
+// chunks, programs, and steps with no per-program allocation churn.
 void init_worker(WorkerState& ws, const EdgeProgram& ep) {
   ws.base.resize(ep.num_regs);
   std::int64_t off = 0;
@@ -66,17 +71,25 @@ void init_worker(WorkerState& ws, const EdgeProgram& ep) {
     ws.base[r] = off;
     off += ep.reg_width[r];
   }
-  ws.buf.assign(off, 0.f);
-  ws.ptr.assign(ep.num_regs, nullptr);
+  ws.buf.resize(off);
+  ws.ptr.resize(ep.num_regs);
   ws.acc_base.resize(ep.vertex_outputs.size());
   std::int64_t acc_off = 0;
   for (std::size_t i = 0; i < ep.vertex_outputs.size(); ++i) {
     ws.acc_base[i] = acc_off;
     acc_off += ep.vertex_outputs[i].width;
   }
-  ws.acc.assign(acc_off, 0.f);
-  ws.acc_arg.assign(acc_off, -1);
-  ws.count.assign(ep.vertex_outputs.size(), 0);
+  ws.acc.resize(acc_off);
+  ws.acc_arg.resize(acc_off);
+  ws.count.resize(ep.vertex_outputs.size());
+}
+
+/// Per-thread scratch, reused across consecutive edge programs in a plan run
+/// (pool worker threads are long-lived). init_worker only grows the vectors.
+WorkerState& worker_scratch(const EdgeProgram& ep) {
+  static thread_local WorkerState ws;
+  init_worker(ws, ep);
+  return ws;
 }
 
 /// True when this vertex output is reduced sequentially in the worker that
@@ -326,8 +339,7 @@ void walk_vertex_range(const Graph& g, const EdgeProgram& ep,
   const auto& ptr = ep.dst_major ? g.in_ptr() : g.out_ptr();
   const auto& adj = ep.dst_major ? g.in_src() : g.out_dst();
   const auto& eid = ep.dst_major ? g.in_eid() : g.out_eid();
-  WorkerState ws;
-  init_worker(ws, ep);
+  WorkerState& ws = worker_scratch(ep);
   for (std::int64_t v = v_lo; v < v_hi; ++v) {
     const std::int64_t elo = ptr[v];
     const std::int64_t ehi = ptr[v + 1];
@@ -383,8 +395,7 @@ void walk_edge_range(const Graph& g, const EdgeProgram& ep, ResolvedProgram& rp,
                      std::int64_t e_lo, std::int64_t e_hi) {
   const auto& esrc = g.edge_src();
   const auto& edst = g.edge_dst();
-  WorkerState ws;
-  init_worker(ws, ep);
+  WorkerState& ws = worker_scratch(ep);
   std::vector<RInstr>& instrs = rp.phases[0];
   for (std::int64_t e = e_lo; e < e_hi; ++e) {
     const std::int64_t src = esrc[e];
@@ -528,50 +539,76 @@ void check_program(const EdgeProgram& ep) {
 
 }  // namespace
 
-void run_edge_program(const Graph& g, const EdgeProgram& ep, const VmBindings& b) {
+void run_edge_program(const Graph& g, const EdgeProgram& ep, const VmBindings& b,
+                      const CoreBinding* core) {
   check_program(ep);
-  ResolvedProgram rp = resolve(g, ep, b);
-
-  if (ep.mapping == WorkMapping::VertexBalanced) {
+  if (core != nullptr && core->specialized()) {
+    // Specialized path: the core handles every phase and reduction of the
+    // program (matchers only accept all-sequential programs, so there is no
+    // boundary stash and no combine sweep).
+    const CoreArgs args = resolve_core_args(*core, ep, b);
     parallel_for_chunks(0, g.num_vertices(), [&](std::int64_t lo, std::int64_t hi) {
-      walk_vertex_range(g, ep, rp, lo, hi);
+      run_core_range(g, ep, *core, args, lo, hi);
     }, /*grain=*/64);
+    global_counters().specialized_edges += static_cast<std::uint64_t>(g.num_edges());
   } else {
-    parallel_for_chunks(0, g.num_edges(), [&](std::int64_t lo, std::int64_t hi) {
-      walk_edge_range(g, ep, rp, lo, hi);
-    }, /*grain=*/4096);
+    ResolvedProgram rp = resolve(g, ep, b);
+    if (ep.mapping == WorkMapping::VertexBalanced) {
+      parallel_for_chunks(0, g.num_vertices(), [&](std::int64_t lo, std::int64_t hi) {
+        walk_vertex_range(g, ep, rp, lo, hi);
+      }, /*grain=*/64);
+    } else {
+      parallel_for_chunks(0, g.num_edges(), [&](std::int64_t lo, std::int64_t hi) {
+        walk_edge_range(g, ep, rp, lo, hi);
+      }, /*grain=*/4096);
+    }
+    combine_boundary(g, ep, rp);
+    global_counters().interpreted_edges += static_cast<std::uint64_t>(g.num_edges());
   }
-  combine_boundary(g, ep, rp);
 
   charge_program(g.num_vertices(), g.num_edges(), ep);
 }
 
 void run_edge_program_sharded(const Graph& g, const Partitioning& part,
-                              const EdgeProgram& ep, const VmBindings& b) {
+                              const EdgeProgram& ep, const VmBindings& b,
+                              const CoreBinding* core) {
   check_program(ep);
   TRIAD_CHECK_EQ(part.num_vertices(), g.num_vertices(),
                  "partitioning built for a different graph");
-  ResolvedProgram rp = resolve(g, ep, b);
 
   const int k = part.num_shards();
-  if (ep.mapping == WorkMapping::VertexBalanced) {
-    // One unit of pool work per shard: the shard is the placement unit, so
-    // there is deliberately no intra-shard work stealing.
+  if (core != nullptr && core->specialized()) {
+    // Specialized path: shard-per-pool-task like the interpreter; cores only
+    // run all-sequential programs, so shard output needs no combine and is
+    // bit-identical to the single-shard core (same per-vertex loops).
+    const CoreArgs args = resolve_core_args(*core, ep, b);
     parallel_for(0, k, [&](std::int64_t s) {
       const Shard& sh = part.shard(static_cast<int>(s));
-      walk_vertex_range(g, ep, rp, sh.v_lo, sh.v_hi);
+      run_core_range(g, ep, *core, args, sh.v_lo, sh.v_hi);
     }, /*grain=*/1);
+    global_counters().specialized_edges += static_cast<std::uint64_t>(g.num_edges());
   } else {
-    // Edge-balanced programs shard the flat edge list into K even ranges;
-    // vertex ownership is irrelevant to the walk and the combine restores
-    // determinism regardless.
-    const std::int64_t m = g.num_edges();
-    parallel_for(0, k, [&](std::int64_t s) {
-      const EdgeRange r = edge_shard_range(m, k, static_cast<int>(s));
-      walk_edge_range(g, ep, rp, r.lo, r.hi);
-    }, /*grain=*/1);
+    ResolvedProgram rp = resolve(g, ep, b);
+    if (ep.mapping == WorkMapping::VertexBalanced) {
+      // One unit of pool work per shard: the shard is the placement unit, so
+      // there is deliberately no intra-shard work stealing.
+      parallel_for(0, k, [&](std::int64_t s) {
+        const Shard& sh = part.shard(static_cast<int>(s));
+        walk_vertex_range(g, ep, rp, sh.v_lo, sh.v_hi);
+      }, /*grain=*/1);
+    } else {
+      // Edge-balanced programs shard the flat edge list into K even ranges;
+      // vertex ownership is irrelevant to the walk and the combine restores
+      // determinism regardless.
+      const std::int64_t m = g.num_edges();
+      parallel_for(0, k, [&](std::int64_t s) {
+        const EdgeRange r = edge_shard_range(m, k, static_cast<int>(s));
+        walk_edge_range(g, ep, rp, r.lo, r.hi);
+      }, /*grain=*/1);
+    }
+    combine_boundary(g, ep, rp);
+    global_counters().interpreted_edges += static_cast<std::uint64_t>(g.num_edges());
   }
-  combine_boundary(g, ep, rp);
 
   // Per-shard charging: each shard is one modeled kernel over its owned
   // slice; the shard sums partition the single-shard totals exactly (modulo

@@ -22,6 +22,7 @@
 
 #include <functional>
 
+#include "engine/specialize.h"
 #include "graph/csr.h"
 #include "graph/partition.h"
 #include "ir/edge_program.h"
@@ -42,12 +43,21 @@ struct VmBindings {
 
 /// Executes the program over `g` as a single shard (fine-grained chunked
 /// parallelism). Charges PerfCounters analytically.
-void run_edge_program(const Graph& g, const EdgeProgram& ep, const VmBindings& b);
+///
+/// `core`: optional specialized-core binding produced by match_core at plan
+/// compile time. When it names a core, the walk runs that core instead of the
+/// interpreter — bit-identical output (see engine/specialize.h) — and charges
+/// PerfCounters::specialized_edges; null or unmatched runs the interpreter
+/// and charges interpreted_edges. The analytic device-cost model is charged
+/// identically either way (it models the program, not the CPU realization).
+void run_edge_program(const Graph& g, const EdgeProgram& ep, const VmBindings& b,
+                      const CoreBinding* core = nullptr);
 
 /// Executes the program shard-by-shard: each shard's owned range is one unit
 /// of pool work (shard = unit of placement; no intra-shard work stealing).
 /// Output is bit-identical to run_edge_program for every K.
 void run_edge_program_sharded(const Graph& g, const Partitioning& part,
-                              const EdgeProgram& ep, const VmBindings& b);
+                              const EdgeProgram& ep, const VmBindings& b,
+                              const CoreBinding* core = nullptr);
 
 }  // namespace triad

@@ -48,7 +48,9 @@ std::string PerfCounters::to_string() const {
          " combine=" + human_bytes(combine_bytes) +
          " passes=" + std::to_string(ir_passes) +
          " rewrites=" + std::to_string(graph_rewrites) +
-         " plans=" + std::to_string(plan_compiles);
+         " plans=" + std::to_string(plan_compiles) +
+         " spec_edges=" + human_count(specialized_edges) +
+         " interp_edges=" + human_count(interpreted_edges);
 }
 
 }  // namespace triad

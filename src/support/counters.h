@@ -26,6 +26,8 @@ struct PerfCounters {
   std::uint64_t ir_passes = 0;         ///< IR passes executed (compile-time work)
   std::uint64_t graph_rewrites = 0;    ///< optimizer rule hits (compile-time work)
   std::uint64_t plan_compiles = 0;     ///< ExecutionPlans built (compile-time work)
+  std::uint64_t specialized_edges = 0;  ///< edges run by specialized cores
+  std::uint64_t interpreted_edges = 0;  ///< edges run by the VM interpreter
 
   std::uint64_t io_bytes() const { return dram_read_bytes + dram_write_bytes; }
   /// Total compile-phase events; zero across a window proves the window ran
@@ -44,6 +46,8 @@ struct PerfCounters {
     r.ir_passes = ir_passes - o.ir_passes;
     r.graph_rewrites = graph_rewrites - o.graph_rewrites;
     r.plan_compiles = plan_compiles - o.plan_compiles;
+    r.specialized_edges = specialized_edges - o.specialized_edges;
+    r.interpreted_edges = interpreted_edges - o.interpreted_edges;
     return r;
   }
   PerfCounters& operator+=(const PerfCounters& o) {
@@ -57,6 +61,8 @@ struct PerfCounters {
     ir_passes += o.ir_passes;
     graph_rewrites += o.graph_rewrites;
     plan_compiles += o.plan_compiles;
+    specialized_edges += o.specialized_edges;
+    interpreted_edges += o.interpreted_edges;
     return *this;
   }
 

@@ -50,3 +50,13 @@ namespace detail {
 /// Marks intentionally unreachable code paths.
 #define TRIAD_UNREACHABLE(msg) \
   ::triad::detail::fail(__FILE__, __LINE__, "unreachable", msg)
+
+/// No-alias qualifier for hot-loop pointers (the specialized edge-program
+/// cores); expands to nothing on compilers without the extension.
+#if defined(__GNUC__) || defined(__clang__)
+#define TRIAD_RESTRICT __restrict__
+#define TRIAD_PREFETCH(p) __builtin_prefetch((p), 0, 1)
+#else
+#define TRIAD_RESTRICT
+#define TRIAD_PREFETCH(p) ((void)0)
+#endif

@@ -1,0 +1,300 @@
+// Kernel specialization (engine/specialize.h) correctness:
+//  * bit-identity: for every stock model — fused or unfused, sharded or not,
+//    template width or runtime-width fallback — the specialized cores produce
+//    exactly the same logits and parameter gradients as the interpreter
+//    (exact float equality, no tolerance);
+//  * the matcher fires on the optimizer's post-fusion programs with the
+//    expected core kind (and never fires when the strategy disables it);
+//  * any structural mutation of a matched program falls back to the
+//    interpreter (kind == None) instead of binding a wrong core.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "baselines/strategy.h"
+#include "engine/specialize.h"
+#include "graph/generators.h"
+#include "models/models.h"
+#include "models/trainer.h"
+#include "support/rng.h"
+#include "tensor/ops.h"
+
+namespace triad {
+namespace {
+
+Graph test_graph() {
+  Rng rng(301);
+  return gen::erdos_renyi(24, 150, rng);
+}
+
+struct RunResult {
+  Tensor logits;
+  std::vector<Tensor> grads;
+};
+
+void expect_exactly_equal(const Tensor& a, const Tensor& b,
+                          const std::string& label) {
+  ASSERT_EQ(a.rows(), b.rows()) << label;
+  ASSERT_EQ(a.cols(), b.cols()) << label;
+  EXPECT_EQ(ops::max_abs_diff(a, b), 0.f) << label;
+}
+
+/// Model factories parameterized on the hot width (the hidden dimension is
+/// exactly what the core templates specialize on: full width for GCN and
+/// EdgeConv, per-head width for GAT, per-kernel width for MoNet).
+struct ModelCase {
+  std::string name;
+  std::function<ModelGraph(Rng&, std::int64_t)> build;
+  std::int64_t in_dim = 0;
+  bool pseudo = false;
+};
+
+std::vector<ModelCase> model_cases() {
+  std::vector<ModelCase> cases;
+  cases.push_back({"gcn",
+                   [](Rng& rng, std::int64_t w) {
+                     GcnConfig cfg;
+                     cfg.in_dim = 8;
+                     cfg.hidden = {w};
+                     cfg.num_classes = 4;
+                     return build_gcn(cfg, rng);
+                   },
+                   8, false});
+  cases.push_back({"gat",
+                   [](Rng& rng, std::int64_t w) {
+                     GatConfig cfg;
+                     cfg.in_dim = 10;
+                     cfg.hidden = w;
+                     cfg.heads = 2;
+                     cfg.layers = 1;
+                     cfg.num_classes = 4;
+                     return build_gat(cfg, rng);
+                   },
+                   10, false});
+  cases.push_back({"monet",
+                   [](Rng& rng, std::int64_t w) {
+                     MoNetConfig cfg;
+                     cfg.in_dim = 6;
+                     cfg.hidden = w;
+                     cfg.kernels = 2;
+                     cfg.pseudo_dim = 2;
+                     cfg.num_classes = 3;
+                     return build_monet(cfg, rng);
+                   },
+                   6, true});
+  cases.push_back({"edgeconv",
+                   [](Rng& rng, std::int64_t w) {
+                     EdgeConvConfig cfg;
+                     cfg.in_dim = 3;
+                     cfg.hidden = {w};
+                     cfg.num_classes = 5;
+                     return build_edgeconv(cfg, rng);
+                   },
+                   3, false});
+  return cases;
+}
+
+RunResult run_one(const ModelCase& mc, std::int64_t w, const Strategy& s,
+                  const Graph& g, const Tensor& features, const Tensor& pseudo,
+                  const IntTensor& labels, int shards) {
+  Rng rng(4242);  // identical weights across strategies
+  Compiled c = compile_model(mc.build(rng, w), s, /*training=*/true, g, shards);
+  MemoryPool pool;
+  Trainer trainer(std::move(c), g, features.clone(MemTag::kInput, &pool),
+                  pseudo.defined() ? pseudo.clone(MemTag::kInput, &pool)
+                                   : Tensor{},
+                  &pool);
+  trainer.train_step(labels, /*lr=*/0.f);
+  RunResult r;
+  r.logits = trainer.logits().clone();
+  for (int gnode : trainer.model().param_grads) {
+    r.grads.push_back(trainer.executor().result(gnode).clone());
+  }
+  return r;
+}
+
+// Specialized-on vs interpreter-only must agree bitwise for every model,
+// fusion mode, shard count, and width — including 48, which no 16/32/64
+// template covers and therefore exercises the runtime-width fallback cores.
+TEST(Specialize, OnOffBitIdentical) {
+  Graph g = test_graph();
+  Rng drng(31);
+  const auto cases = model_cases();
+  IntTensor labels(g.num_vertices(), 1);
+  for (std::int64_t v = 0; v < g.num_vertices(); ++v) {
+    labels.at(v, 0) = static_cast<std::int32_t>(v % 3);
+  }
+  for (const ModelCase& mc : cases) {
+    Tensor features = Tensor::randn(g.num_vertices(), mc.in_dim, drng);
+    Tensor pseudo = mc.pseudo ? make_pseudo_coords(g, 2) : Tensor{};
+    for (const std::int64_t w :
+         {std::int64_t{16}, std::int64_t{32}, std::int64_t{64},
+          std::int64_t{48}}) {
+      for (const bool fused : {true, false}) {
+        for (const int shards : {1, 4}) {
+          Strategy on = fused ? ours() : ours_no_fusion();
+          Strategy off = on;
+          off.specialize = false;
+          const RunResult a =
+              run_one(mc, w, on, g, features, pseudo, labels, shards);
+          const RunResult b =
+              run_one(mc, w, off, g, features, pseudo, labels, shards);
+          const std::string label = mc.name + "/w" + std::to_string(w) +
+                                    (fused ? "/fused" : "/unfused") +
+                                    "/K=" + std::to_string(shards);
+          expect_exactly_equal(a.logits, b.logits, label + " logits");
+          ASSERT_EQ(a.grads.size(), b.grads.size()) << label;
+          for (std::size_t i = 0; i < a.grads.size(); ++i) {
+            expect_exactly_equal(a.grads[i], b.grads[i],
+                                 label + " grad " + std::to_string(i));
+          }
+        }
+      }
+    }
+  }
+}
+
+// --- matcher fires on the real post-fusion programs -------------------------
+
+int count_kind(const std::vector<CoreBinding>& cores, CoreKind kind) {
+  int n = 0;
+  for (const CoreBinding& cb : cores) n += cb.kind == kind ? 1 : 0;
+  return n;
+}
+
+TEST(Specialize, MatcherSelectsExpectedCores) {
+  Graph g = test_graph();
+  const auto cases = model_cases();
+  const CoreKind expected[] = {CoreKind::GcnWsum, CoreKind::GatSoftmax,
+                               CoreKind::MoNetGauss, CoreKind::EdgeConvMax};
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    Rng rng(4242);
+    Compiled c =
+        compile_model(cases[i].build(rng, 16), ours(), /*training=*/false, g);
+    ASSERT_NE(c.plan, nullptr);
+    ASSERT_FALSE(c.plan->cores().empty()) << cases[i].name;
+    EXPECT_GE(count_kind(c.plan->cores(), expected[i]), 1)
+        << cases[i].name << " forward plan selected no "
+        << to_string(expected[i]) << " core";
+    // Forward plans of the stock models consist solely of matched shapes.
+    EXPECT_EQ(count_kind(c.plan->cores(), CoreKind::None), 0) << cases[i].name;
+  }
+}
+
+TEST(Specialize, TrainingPlansKeepBoundCoresAndFallBackElsewhere) {
+  // Backward programs of the attention/max/gaussian models stash edge tensors
+  // or reduce cross-orientation — the matcher must refuse those (interpreter
+  // fallback), while still binding the forward shapes it recognizes.
+  Graph g = test_graph();
+  const auto cases = model_cases();
+  for (const ModelCase& mc : cases) {
+    Rng rng(4242);
+    Compiled c = compile_model(mc.build(rng, 16), ours(), /*training=*/true, g);
+    ASSERT_NE(c.plan, nullptr);
+    int specialized = 0;
+    for (const CoreBinding& cb : c.plan->cores()) {
+      specialized += cb.specialized() ? 1 : 0;
+    }
+    EXPECT_GE(specialized, 1) << mc.name;
+  }
+}
+
+TEST(Specialize, DisabledStrategyBindsNothing) {
+  Graph g = test_graph();
+  Rng rng(4242);
+  const auto cases = model_cases();
+  Compiled c = compile_model(cases[0].build(rng, 16), ours_no_specialize(),
+                             /*training=*/true, g);
+  ASSERT_NE(c.plan, nullptr);
+  for (const CoreBinding& cb : c.plan->cores()) {
+    EXPECT_FALSE(cb.specialized());
+  }
+}
+
+TEST(Specialize, CountersChargeSpecializedVsInterpreted) {
+  Graph g = test_graph();
+  Rng drng(32);
+  const auto cases = model_cases();
+  Tensor features = Tensor::randn(g.num_vertices(), cases[0].in_dim, drng);
+  IntTensor labels(g.num_vertices(), 1);
+  auto edges_of = [&](const Strategy& s) {
+    Rng rng(4242);
+    Compiled c = compile_model(cases[0].build(rng, 16), s, false, g);
+    MemoryPool pool;
+    Trainer t(std::move(c), g, features.clone(MemTag::kInput, &pool), Tensor{},
+              &pool);
+    return t.forward(labels).counters;
+  };
+  const PerfCounters on = edges_of(ours());
+  EXPECT_GT(on.specialized_edges, 0u);
+  EXPECT_EQ(on.interpreted_edges, 0u);  // GCN forward: every program matches
+  const PerfCounters off = edges_of(ours_no_specialize());
+  EXPECT_EQ(off.specialized_edges, 0u);
+  EXPECT_GT(off.interpreted_edges, 0u);
+}
+
+// --- structural mutations must fall back to the interpreter -----------------
+
+/// The canonical GCN weighted-sum program (what fusion emits).
+EdgeProgram gcn_program(std::int64_t f) {
+  EdgeProgram ep;
+  ep.phases.resize(1);
+  ep.phases[0].instrs = {
+      {EPOp::LoadU, 0, -1, -1, 0, -1, -1, 0.f, 1, f},
+      {EPOp::Reduce, -1, 0, -1, -1, -1, 0, 0.f, 1, f},
+  };
+  ep.vertex_outputs = {{1, static_cast<std::uint8_t>(ReduceFn::Sum), f, 0,
+                        false, false, false}};
+  ep.num_regs = 1;
+  ep.reg_width = {f};
+  return ep;
+}
+
+TEST(Specialize, MatchesHandBuiltGcnShapeAtEveryWidth) {
+  for (const auto& [w, tw] : std::vector<std::pair<std::int64_t, int>>{
+           {16, 16}, {32, 32}, {64, 64}, {48, 0}}) {
+    const CoreBinding cb = match_core(gcn_program(w));
+    EXPECT_EQ(cb.kind, CoreKind::GcnWsum) << "w=" << w;
+    EXPECT_EQ(cb.hot_width, w);
+    EXPECT_EQ(cb.template_width, tw) << "w=" << w;
+  }
+  EXPECT_EQ(match_core(gcn_program(64)).label(), "gcn_wsum/w64");
+  EXPECT_EQ(match_core(gcn_program(48)).label(), "gcn_wsum/dyn");
+}
+
+TEST(Specialize, MutatedProgramsFallBackToInterpreter) {
+  // Edge-balanced mapping: reductions are atomic, no core applies.
+  EdgeProgram m1 = gcn_program(16);
+  m1.mapping = WorkMapping::EdgeBalanced;
+  EXPECT_EQ(match_core(m1).kind, CoreKind::None);
+
+  // Cross-orientation (boundary-combine) reduction.
+  EdgeProgram m2 = gcn_program(16);
+  m2.vertex_outputs[0].reverse = true;
+  EXPECT_EQ(match_core(m2).kind, CoreKind::None);
+
+  // Materialized edge output (fusion-without-recompute stash).
+  EdgeProgram m3 = gcn_program(16);
+  m3.edge_outputs.push_back({2, 16});
+  EXPECT_EQ(match_core(m3).kind, CoreKind::None);
+
+  // Wrong reduction function for the shape.
+  EdgeProgram m4 = gcn_program(16);
+  m4.vertex_outputs[0].rfn = static_cast<std::uint8_t>(ReduceFn::Max);
+  EXPECT_EQ(match_core(m4).kind, CoreKind::None);
+
+  // Unexpected opcode in an otherwise matching sequence.
+  EdgeProgram m5 = gcn_program(16);
+  m5.phases[0].instrs[0].op = EPOp::LoadE;
+  EXPECT_EQ(match_core(m5).kind, CoreKind::None);
+
+  // Width mismatch between the loaded row and the reduction.
+  EdgeProgram m6 = gcn_program(16);
+  m6.phases[0].instrs[0].width = 8;
+  EXPECT_EQ(match_core(m6).kind, CoreKind::None);
+}
+
+}  // namespace
+}  // namespace triad

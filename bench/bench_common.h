@@ -51,6 +51,7 @@ struct Options {
   int threads = 0;           ///< global pool size override (0 = auto)
   unsigned seed = 42;
   bool specialize = true;    ///< bind specialized kernel cores (--no-specialize)
+  bool pipeline = true;      ///< pipelined sharded execution (--no-pipeline)
   bool json = true;          ///< emit BENCH_<name>.json
   std::string json_dir = "."; ///< where to write it
   std::string dump_ir;       ///< write one DOT file per pipeline stage here
@@ -70,6 +71,7 @@ struct Options {
       if (const char* v = val("--json-dir")) o.json_dir = v;
       if (const char* v = val("--dump-ir")) o.dump_ir = v;
       if (std::strcmp(argv[i], "--no-specialize") == 0) o.specialize = false;
+      if (std::strcmp(argv[i], "--no-pipeline") == 0) o.pipeline = false;
       if (std::strcmp(argv[i], "--no-json") == 0) o.json = false;
       if (std::strcmp(argv[i], "--full") == 0) {
         o.scale = 1.0;
@@ -140,6 +142,11 @@ inline std::shared_ptr<const Compiled> engine_compile(
     // interpreter-only artifacts must never alias.
     co.strategy.specialize = false;
     co.strategy.name += "(-specialize)";
+  }
+  if (!opt.pipeline && co.strategy.pipeline) {
+    // Barriered-sharded ablation run; same cache-key reasoning as above.
+    co.strategy.pipeline = false;
+    co.strategy.name += "(-pipeline)";
   }
   co.shards = opt.shards;
   co.init_seed = opt.seed + 1;
@@ -320,6 +327,11 @@ class JsonReport {
           "\"kernel_launches\": %llu, \"atomic_ops\": %llu, "
           "\"flops\": %llu, \"combine_bytes\": %llu, "
           "\"specialized_edges\": %llu, \"interpreted_edges\": %llu, "
+          "\"interior_edges\": %llu, \"frontier_edges\": %llu, "
+          "\"walk_ns\": %llu, \"combine_ns\": %llu, "
+          "\"combine_overlap_ns\": %llu, "
+          "\"boundary_stash_bytes\": %llu, "
+          "\"boundary_stash_saved_bytes\": %llu, "
           "\"shards\": %d, \"shard_peak_bytes\": %zu, "
           "\"speedup\": %.4f, \"mem_ratio\": %.4f%s%s}%s\n",
           r.workload.c_str(), r.strategy.c_str(), r.m.seconds,
@@ -331,6 +343,14 @@ class JsonReport {
           static_cast<unsigned long long>(r.m.counters.combine_bytes),
           static_cast<unsigned long long>(r.m.counters.specialized_edges),
           static_cast<unsigned long long>(r.m.counters.interpreted_edges),
+          static_cast<unsigned long long>(r.m.counters.interior_edges),
+          static_cast<unsigned long long>(r.m.counters.frontier_edges),
+          static_cast<unsigned long long>(r.m.counters.walk_ns),
+          static_cast<unsigned long long>(r.m.counters.combine_ns),
+          static_cast<unsigned long long>(r.m.counters.combine_overlap_ns),
+          static_cast<unsigned long long>(r.m.counters.boundary_stash_bytes),
+          static_cast<unsigned long long>(
+              r.m.counters.boundary_stash_saved_bytes),
           r.m.shards, r.m.shard_peak_bytes, speedup, mem_ratio,
           r.extra.empty() ? "" : ", ", r.extra.c_str(),
           i + 1 < rows_.size() ? "," : "");

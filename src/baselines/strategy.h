@@ -56,6 +56,11 @@ struct Strategy {
   /// time (engine/specialize.h). On for every preset — output is bit-identical
   /// either way — with ours_no_specialize() as the ablation point.
   bool specialize = true;
+  /// Dependency-driven sharded execution (engine/pipeline.h): frontier-first
+  /// walks with the boundary combine overlapped into still-walking shards.
+  /// On for every preset — output is bit-identical either way — with
+  /// ours_no_pipeline() as the ablation point (barrier + post-join combine).
+  bool pipeline = true;
 };
 
 Strategy dgl_like();
@@ -67,6 +72,7 @@ Strategy ours_no_fusion();
 Strategy ours_fusion_stash();  ///< fusion without recomputation (Fig. 10 middle)
 Strategy ours_no_optimize();   ///< generic optimizer off (compile-cost ablation)
 Strategy ours_no_specialize(); ///< interpreter-only edge programs (kernel-core ablation)
+Strategy ours_no_pipeline();   ///< barriered sharded execution (pipeline ablation)
 
 /// Compile-phase accounting: per-pass wall time (from the PassManager) plus
 /// the ExecutionPlan build time. The benchmark harness reports this

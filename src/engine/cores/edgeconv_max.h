@@ -53,6 +53,11 @@ inline void edgeconv_max(const std::int64_t* TRIAD_RESTRICT ptr,
         const float* TRIAD_RESTRICT xu =
             x + static_cast<std::int64_t>(adj[i]) * x_cols;
         const std::int32_t e = eid[i];
+        // Lanes are independent (each j carries its own max/argmax), but the
+        // argmax side effect makes the autovectorizer give up on its own —
+        // the explicit simd pragma recovers ~w-wide compare/blend code while
+        // keeping the per-lane `>` and edge-id semantics exactly.
+        TRIAD_SIMD
         for (std::int64_t j = 0; j < w; ++j) {
           const float t = (xu[j] - xv[j]) + yv[j];
           if (t > acc[j]) {

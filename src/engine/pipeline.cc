@@ -1,0 +1,47 @@
+#include "engine/pipeline.h"
+
+#include "support/macros.h"
+
+namespace triad {
+
+PipelineSchedule::PipelineSchedule(const Partitioning& part) {
+  const int k = part.num_shards();
+  init_pending_.resize(k);
+  dependents_.resize(k);
+  for (int s = 0; s < k; ++s) {
+    const Shard& sh = part.shard(s);
+    init_pending_[s] = 1 + static_cast<int>(sh.neighbor_shards.size());
+    // neighbor_shards is symmetric, so the combines that s's frontier publish
+    // unblocks are exactly s's own neighbors.
+    dependents_[s] = sh.neighbor_shards;
+  }
+}
+
+PipelineRun::PipelineRun(const PipelineSchedule& sched,
+                         std::function<void(int)> combine)
+    : sched_(sched), combine_(std::move(combine)), pending_(sched.num_shards()) {
+  for (int s = 0; s < sched_.num_shards(); ++s)
+    pending_[s].store(sched_.init_pending(s), std::memory_order_relaxed);
+}
+
+void PipelineRun::signal(int target) {
+  // acq_rel: the release half chains this publisher's prior writes into the
+  // counter's release sequence; the acquire half makes the firing thread see
+  // every contributing shard's stash and vertex-output writes.
+  if (pending_[target].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    combine_(target);
+    fired_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void PipelineRun::publish_frontier(int s) {
+  for (const std::int32_t t : sched_.dependents(s)) signal(t);
+}
+
+void PipelineRun::publish_full(int s) { signal(s); }
+
+bool PipelineRun::all_done() const {
+  return fired_.load(std::memory_order_relaxed) == sched_.num_shards();
+}
+
+}  // namespace triad

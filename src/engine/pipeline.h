@@ -1,0 +1,91 @@
+/// \file
+/// Dependency-driven scheduling of the sharded boundary combine.
+///
+/// The barrier path in engine/vm.cc walks all shards, joins, then folds the
+/// boundary stash. The pipelined path instead publishes each shard's progress
+/// through atomic ready counters and fires the per-owner-shard combine as
+/// soon as its inputs are final — overlapping combine work with interior
+/// compute of still-walking shards, Dorylus-style, without changing a single
+/// bit of the output.
+///
+/// Dependency structure. The combine for owner shard s folds stash rows of
+/// edges incident (in the output's reverse orientation) to s-owned target
+/// vertices. The walker of any such edge is either owned by s, or — because
+/// the edge crosses the s boundary — a *frontier* vertex of a neighboring
+/// shard (see Shard::frontier). Hence combine(s) may start once
+///   - every neighbor shard of s has walked its frontier slice, and
+///   - shard s has finished its own walk entirely,
+/// which PipelineSchedule encodes as an initial pending count of
+/// |neighbor_shards(s)| + 1. Shard tasks walk frontier vertices first,
+/// publish, then walk interior vertices, so neighbor dependencies clear long
+/// before the global join.
+///
+/// Determinism. Firing order changes *when* a combine runs, never the fold
+/// order within it: each combine still sweeps its owner vertex range in the
+/// fixed reverse-adjacency edge order, so the result is bit-identical to the
+/// barrier path and to K=1 (tests/test_pipeline.cc enforces exact equality).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/partition.h"
+
+namespace triad {
+
+/// Immutable combine-dependency topology derived from a Partitioning: how
+/// many publishes each owner shard's combine waits for, and which combines a
+/// shard's frontier publish feeds. Built once per installed partitioning
+/// (PlanRunner::set_partitioning) and shared by every program execution.
+class PipelineSchedule {
+ public:
+  explicit PipelineSchedule(const Partitioning& part);
+
+  int num_shards() const { return static_cast<int>(init_pending_.size()); }
+  /// Publishes combine(s) waits for: one frontier publish per neighbor shard
+  /// plus shard s's own full-walk publish.
+  int init_pending(int s) const { return init_pending_[s]; }
+  /// Combines to signal when shard s publishes its frontier slice — exactly
+  /// s's neighbor shards (the dependency relation is symmetric).
+  const std::vector<std::int32_t>& dependents(int s) const {
+    return dependents_[s];
+  }
+
+ private:
+  std::vector<int> init_pending_;
+  std::vector<std::vector<std::int32_t>> dependents_;
+};
+
+/// Per-execution ready-flag state: one atomic pending counter per owner
+/// shard, decremented by publishes. The publish that brings a counter to zero
+/// runs that shard's combine inline on its own thread, so every combine
+/// completes before the walk fan-out joins — no extra tasks, no waiting.
+///
+/// Memory ordering: every decrement is acq_rel, so the firing thread
+/// observes all stash/output writes made before each contributing publish
+/// (release sequence on the counter). This is the entire synchronization
+/// story — no locks, and TSan-clean by construction.
+class PipelineRun {
+ public:
+  PipelineRun(const PipelineSchedule& sched, std::function<void(int)> combine);
+
+  /// Shard s finished walking its frontier slice: signal every dependent
+  /// owner shard's combine.
+  void publish_frontier(int s);
+  /// Shard s finished its full walk: signal s's own combine.
+  void publish_full(int s);
+  /// All combines fired (valid after the walk fan-out joins).
+  bool all_done() const;
+
+ private:
+  void signal(int target);
+
+  const PipelineSchedule& sched_;
+  std::function<void(int)> combine_;
+  std::vector<std::atomic<int>> pending_;
+  std::atomic<int> fired_{0};
+};
+
+}  // namespace triad

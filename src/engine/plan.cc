@@ -34,7 +34,8 @@ MemTag tag_of(const Node& n, int last_consumer, int backward_start) {
 
 ExecutionPlan ExecutionPlan::compile(IrGraph ir, std::int64_t num_vertices,
                                      std::int64_t num_edges,
-                                     const Partitioning* part, bool specialize) {
+                                     const Partitioning* part, bool specialize,
+                                     bool pipeline) {
   Timer timer;
   ir.validate(num_vertices, num_edges);
   if (part != nullptr) {
@@ -229,6 +230,9 @@ ExecutionPlan ExecutionPlan::compile(IrGraph ir, std::int64_t num_vertices,
       ss.v_hi = sh.v_hi;
       ss.num_vertices = sh.num_vertices();
       ss.local_edges = sh.num_in_edges();
+      ss.frontier_vertices = static_cast<std::int64_t>(sh.frontier.size());
+      ss.frontier_edges = sh.frontier_in_edges;
+      ss.interior_edges = sh.interior_in_edges();
       ss.estimated_peak_bytes =
           simulate(ss.num_vertices, ss.local_edges, &ss.persistent_bytes);
     }
@@ -245,6 +249,7 @@ ExecutionPlan ExecutionPlan::compile(IrGraph ir, std::int64_t num_vertices,
   }
 
   p.ir_ = std::move(ir);
+  p.pipeline_ = pipeline;
   p.compile_seconds_ = timer.seconds();
   ++global_counters().plan_compiles;
   return p;
@@ -252,9 +257,9 @@ ExecutionPlan ExecutionPlan::compile(IrGraph ir, std::int64_t num_vertices,
 
 std::shared_ptr<const ExecutionPlan> ExecutionPlan::compile_shared(
     IrGraph ir, std::int64_t num_vertices, std::int64_t num_edges,
-    const Partitioning* part, bool specialize) {
-  return std::make_shared<const ExecutionPlan>(
-      compile(std::move(ir), num_vertices, num_edges, part, specialize));
+    const Partitioning* part, bool specialize, bool pipeline) {
+  return std::make_shared<const ExecutionPlan>(compile(
+      std::move(ir), num_vertices, num_edges, part, specialize, pipeline));
 }
 
 std::size_t ExecutionPlan::max_shard_peak_bytes() const {
@@ -289,6 +294,11 @@ void PlanRunner::set_partitioning(const Partitioning* part) {
                    "partitioning built for a different |E|");
   }
   partition_ = part;
+  // The combine-dependency schedule is a pure function of the installed
+  // partitioning, so build it here once rather than per program execution.
+  pipeline_sched_ = (part != nullptr && plan_->pipeline())
+                        ? std::make_unique<PipelineSchedule>(*part)
+                        : nullptr;
 }
 
 void PlanRunner::bind(int node, Tensor t) {
@@ -550,7 +560,8 @@ void PlanRunner::exec_fused(const Node& n) {
   b.pool = pool_;
   const CoreBinding* core = &plan_->core(n.program);
   if (partition_ != nullptr) {
-    run_edge_program_sharded(graph_, *partition_, ep, b, core);
+    run_edge_program_sharded(graph_, *partition_, ep, b, core,
+                             pipeline_sched_.get());
   } else {
     run_edge_program(graph_, ep, b, core);
   }

@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "engine/pipeline.h"
 #include "engine/specialize.h"
 #include "graph/csr.h"
 #include "graph/partition.h"
@@ -52,6 +53,12 @@ struct ShardSchedule {
   std::int64_t v_lo = 0, v_hi = 0;     ///< owned vertex range
   std::int64_t num_vertices = 0;
   std::int64_t local_edges = 0;        ///< in-edges of owned vertices
+  // Pipelined-execution schedule baked from the Partitioning's classification
+  // (in-orientation counts): how much of this shard's work must run before
+  // its publish (frontier) vs how much can overlap neighbors' combines.
+  std::int64_t frontier_vertices = 0;
+  std::int64_t frontier_edges = 0;     ///< in-edges of frontier vertices
+  std::int64_t interior_edges = 0;     ///< in-edges of interior vertices
   std::size_t persistent_bytes = 0;    ///< bound inputs (scaled) + params (full)
   std::size_t estimated_peak_bytes = 0;
 };
@@ -63,14 +70,18 @@ class ExecutionPlan {
   /// carries a per-shard schedule (scaled footprints + per-shard peak
   /// estimates). `specialize` runs the core matcher over every edge program
   /// (see engine/specialize.h); false pins everything to the interpreter (the
-  /// ablation knob). The plan is immutable afterwards.
+  /// ablation knob). `pipeline` selects dependency-driven sharded execution
+  /// (frontier-first walks + overlapped combine, see engine/pipeline.h);
+  /// false keeps the barrier path — output is bit-identical either way. The
+  /// plan is immutable afterwards.
   static ExecutionPlan compile(IrGraph ir, std::int64_t num_vertices,
                                std::int64_t num_edges,
                                const Partitioning* part = nullptr,
-                               bool specialize = true);
+                               bool specialize = true, bool pipeline = true);
   static std::shared_ptr<const ExecutionPlan> compile_shared(
       IrGraph ir, std::int64_t num_vertices, std::int64_t num_edges,
-      const Partitioning* part = nullptr, bool specialize = true);
+      const Partitioning* part = nullptr, bool specialize = true,
+      bool pipeline = true);
 
   ExecutionPlan(ExecutionPlan&&) = default;
   ExecutionPlan& operator=(ExecutionPlan&&) = default;
@@ -110,6 +121,9 @@ class ExecutionPlan {
   /// Wall time compile() spent building this plan.
   double compile_seconds() const { return compile_seconds_; }
 
+  /// Whether sharded execution runs the dependency-driven pipeline.
+  bool pipeline() const { return pipeline_; }
+
   /// Core binding selected for edge program `program` (kind == None when the
   /// matcher declined it or the plan was compiled with specialize=false).
   const CoreBinding& core(int program) const { return cores_[program]; }
@@ -130,6 +144,7 @@ class ExecutionPlan {
   std::vector<ShardSchedule> shards_;
   std::vector<CoreBinding> cores_;  ///< per-program, parallel to ir().programs
   double compile_seconds_ = 0.0;
+  bool pipeline_ = true;
 };
 
 /// Per-request execution state over a shared immutable plan. Replaces the
@@ -188,6 +203,9 @@ class PlanRunner {
   std::shared_ptr<const ExecutionPlan> plan_;
   MemoryPool* pool_;
   const Partitioning* partition_ = nullptr;  ///< non-owning; null = unsharded
+  /// Combine-dependency schedule for the installed partitioning; built by
+  /// set_partitioning when the plan compiled with pipeline=true.
+  std::unique_ptr<PipelineSchedule> pipeline_sched_;
 
   std::vector<Tensor> slots_;
   std::vector<IntTensor> aux_;

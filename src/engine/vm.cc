@@ -7,9 +7,11 @@
 #include <limits>
 #include <vector>
 
+#include "engine/pipeline.h"
 #include "support/counters.h"
 #include "support/macros.h"
 #include "support/parallel.h"
+#include "support/timer.h"
 
 namespace triad {
 
@@ -47,6 +49,20 @@ struct ResolvedProgram {
   // Never zero-filled: the walk writes every slot before the combine reads.
   std::vector<Tensor> boundary;
   std::vector<float*> boundary_ptr;  // hot-path aliases of `boundary`
+  // Stash elision: a boundary output whose contribution is cheap (pure loads
+  // plus at most two arithmetic ops) skips the |E|-row stash entirely — the
+  // combine replays the phase's side-effect-free instruction prefix per edge
+  // instead. Register values are SSA per edge and the fold order is
+  // unchanged, so the result is bit-identical to the stashed path while
+  // saving the stash write + read round trip (and often the whole walk-side
+  // phase, see phase_live).
+  std::vector<char> elided;               // per vertex_output
+  std::vector<std::vector<RInstr>> recompute;  // replay list (elided only)
+  std::vector<int> src_reg;               // register the Reduce folds
+  // False = every side effect of this phase is an elided stash write, so the
+  // walk skips the phase entirely and the combine recomputes on demand.
+  std::vector<char> phase_live;
+  bool has_boundary = false;
 };
 
 struct WorkerState {
@@ -156,6 +172,9 @@ ResolvedProgram resolve(const Graph& g, const EdgeProgram& ep,
   rp.vout_aux.assign(ep.vertex_outputs.size(), nullptr);
   rp.boundary.resize(ep.vertex_outputs.size());
   rp.boundary_ptr.assign(ep.vertex_outputs.size(), nullptr);
+  rp.elided.assign(ep.vertex_outputs.size(), 0);
+  rp.recompute.resize(ep.vertex_outputs.size());
+  rp.src_reg.assign(ep.vertex_outputs.size(), -1);
   MemoryPool* pool = b.pool != nullptr ? b.pool : &global_pool_mem();
   for (std::size_t i = 0; i < ep.vertex_outputs.size(); ++i) {
     const VertexOutput& vo = ep.vertex_outputs[i];
@@ -166,14 +185,64 @@ ResolvedProgram resolve(const Graph& g, const EdgeProgram& ep,
     if (!sequential_reduce(ep, vo)) {
       TRIAD_CHECK(static_cast<ReduceFn>(vo.rfn) == ReduceFn::Sum,
                   "boundary reductions support Sum only");
-      // Allocated per call, not cached across steps: at most one program's
-      // stash is live at a time, so peak memory — the metric the recompute
-      // pass optimizes — stays one O(|E| x width) buffer instead of one per
-      // fused node. The alloc/free churn matches the engine's existing
-      // per-step slot allocation discipline.
-      rp.boundary[i] =
-          Tensor(g.num_edges(), vo.width, MemTag::kWorkspace, pool);
-      rp.boundary_ptr[i] = rp.boundary[i].data();
+      rp.has_boundary = true;
+      // Elision candidate: the replay list is the phase minus its side
+      // effects (Reduce stash writes, StoreE). Cheap means at most two
+      // non-load ops and no Gauss; anything pricier keeps the stash so the
+      // combine reads instead of recomputing.
+      const int p = vo.phase;
+      std::vector<RInstr> replay;
+      int arith = 0;
+      bool costly = false;
+      int sreg = -1;
+      const auto& instrs = ep.phases[p].instrs;
+      for (std::size_t x = 0; x < instrs.size(); ++x) {
+        const EPInstr& in = instrs[x];
+        if (in.op == EPOp::Reduce) {
+          if (in.acc == static_cast<int>(i)) sreg = in.a;
+          continue;
+        }
+        if (in.op == EPOp::StoreE) continue;
+        replay.push_back(rp.phases[p][x]);
+        if (in.op != EPOp::LoadU && in.op != EPOp::LoadV &&
+            in.op != EPOp::LoadE && in.op != EPOp::LoadAcc &&
+            in.op != EPOp::Copy) {
+          ++arith;
+          if (in.op == EPOp::Gauss) costly = true;
+        }
+      }
+      TRIAD_CHECK(sreg >= 0, "boundary output has no Reduce in its phase");
+      rp.src_reg[i] = sreg;
+      const std::uint64_t stash_bytes =
+          static_cast<std::uint64_t>(g.num_edges()) *
+          static_cast<std::uint64_t>(vo.width) * 4;
+      if (arith <= 2 && !costly) {
+        rp.elided[i] = 1;
+        rp.recompute[i] = std::move(replay);
+        global_counters().boundary_stash_saved_bytes += stash_bytes;
+      } else {
+        // Allocated per call, not cached across steps: at most one program's
+        // stash is live at a time, so peak memory — the metric the recompute
+        // pass optimizes — stays one O(|E| x width) buffer instead of one
+        // per fused node. The alloc/free churn matches the engine's existing
+        // per-step slot allocation discipline.
+        rp.boundary[i] =
+            Tensor(g.num_edges(), vo.width, MemTag::kWorkspace, pool);
+        rp.boundary_ptr[i] = rp.boundary[i].data();
+        global_counters().boundary_stash_bytes += stash_bytes;
+      }
+    }
+  }
+  // A phase whose only side effects are elided stash writes has nothing left
+  // to do in the walk: the combine recomputes its values on demand.
+  rp.phase_live.assign(ep.phases.size(), 0);
+  for (std::size_t p = 0; p < ep.phases.size(); ++p) {
+    for (const EPInstr& in : ep.phases[p].instrs) {
+      if (in.op == EPOp::StoreE ||
+          (in.op == EPOp::Reduce && !rp.elided[in.acc])) {
+        rp.phase_live[p] = 1;
+        break;
+      }
     }
   }
   return rp;
@@ -315,10 +384,11 @@ inline void eval_instr(const RInstr& in, WorkerState& ws, const EdgeProgram& ep,
           }
         }
         ws.count[in.acc] += 1;
-      } else {
+      } else if (rp.boundary_ptr[in.acc] != nullptr) {
         // Boundary reduction: stash this edge's contribution; the combine
         // sweep folds it into the target row in fixed adjacency order. Each
         // edge runs the phase exactly once, so a plain store suffices.
+        // (Elided outputs have no stash — the combine recomputes instead.)
         float* stash = rp.boundary_ptr[in.acc] + eid * w;
         for (std::int64_t j = 0; j < w; ++j) stash[j] = a[j];
       }
@@ -330,20 +400,28 @@ inline void eval_instr(const RInstr& in, WorkerState& ws, const EdgeProgram& ep,
   }
 }
 
-/// Walks vertices [v_lo, v_hi) of the primary orientation, running every
-/// phase per vertex. Strictly serial — shard bodies and chunk bodies call
-/// this from pool workers, so it must not spawn nested parallelism.
-void walk_vertex_range(const Graph& g, const EdgeProgram& ep,
-                       ResolvedProgram& rp, std::int64_t v_lo,
-                       std::int64_t v_hi) {
+/// Walks vertices of the primary orientation, running every live phase per
+/// vertex. Visits `list[0..count)` when `list` is non-null, else the range
+/// [v_lo, v_hi). Every phase runs per vertex and vertices share no walk
+/// state, so any visit order — in particular the pipelined frontier-first
+/// order — produces bit-identical output. Strictly serial — shard bodies and
+/// chunk bodies call this from pool workers, so it must not spawn nested
+/// parallelism.
+void walk_vertex_span(const Graph& g, const EdgeProgram& ep,
+                      ResolvedProgram& rp, const std::int32_t* list,
+                      std::int64_t count, std::int64_t v_lo,
+                      std::int64_t v_hi) {
   const auto& ptr = ep.dst_major ? g.in_ptr() : g.out_ptr();
   const auto& adj = ep.dst_major ? g.in_src() : g.out_dst();
   const auto& eid = ep.dst_major ? g.in_eid() : g.out_eid();
   WorkerState& ws = worker_scratch(ep);
-  for (std::int64_t v = v_lo; v < v_hi; ++v) {
+  const std::int64_t total = list != nullptr ? count : v_hi - v_lo;
+  for (std::int64_t idx = 0; idx < total; ++idx) {
+    const std::int64_t v = list != nullptr ? list[idx] : v_lo + idx;
     const std::int64_t elo = ptr[v];
     const std::int64_t ehi = ptr[v + 1];
     for (std::size_t p = 0; p < ep.phases.size(); ++p) {
+      if (!rp.phase_live[p]) continue;
       // Init sequential accumulators fed by this phase.
       for (std::size_t i = 0; i < ep.vertex_outputs.size(); ++i) {
         const VertexOutput& vo = ep.vertex_outputs[i];
@@ -390,9 +468,24 @@ void walk_vertex_range(const Graph& g, const EdgeProgram& ep,
   }
 }
 
+void walk_vertex_range(const Graph& g, const EdgeProgram& ep,
+                       ResolvedProgram& rp, std::int64_t v_lo,
+                       std::int64_t v_hi) {
+  walk_vertex_span(g, ep, rp, nullptr, 0, v_lo, v_hi);
+}
+
+/// Walks an explicit owned-vertex list (a shard's frontier or interior set).
+void walk_vertex_list(const Graph& g, const EdgeProgram& ep,
+                      ResolvedProgram& rp,
+                      const std::vector<std::int32_t>& vs) {
+  walk_vertex_span(g, ep, rp, vs.data(),
+                   static_cast<std::int64_t>(vs.size()), 0, 0);
+}
+
 /// Edge-balanced walk over edges [e_lo, e_hi). Serial; see walk_vertex_range.
 void walk_edge_range(const Graph& g, const EdgeProgram& ep, ResolvedProgram& rp,
                      std::int64_t e_lo, std::int64_t e_hi) {
+  if (!rp.phase_live[0]) return;  // all side effects elided into the combine
   const auto& esrc = g.edge_src();
   const auto& edst = g.edge_dst();
   WorkerState& ws = worker_scratch(ep);
@@ -408,33 +501,68 @@ void walk_edge_range(const Graph& g, const EdgeProgram& ep, ResolvedProgram& rp,
   }
 }
 
-/// Boundary combine: folds every stashed per-edge contribution into its
-/// target row, walking each target's reverse-orientation edge list. The list
-/// order is a property of the graph, so the reduction order — and therefore
-/// the floating-point result — is identical for every thread/shard count.
-void combine_boundary(const Graph& g, const EdgeProgram& ep,
-                      ResolvedProgram& rp) {
-  const std::int64_t n = g.num_vertices();
+/// Boundary combine over a set of target vertices — `list[0..count)` when
+/// `list` is non-null, else the range [t_lo, t_hi). Folds each target row in
+/// its fixed reverse-orientation edge-list order; that order is a property of
+/// the graph, so the reduction result is bit-identical for every thread/shard
+/// count and for every scheduling of disjoint target sets. Contributions come
+/// from the stash, or — for elided outputs — from replaying the phase's
+/// side-effect-free instruction prefix per edge (registers are SSA per edge,
+/// so the replay reproduces the walk's value exactly). Serial; callers
+/// schedule disjoint target sets concurrently.
+void combine_boundary_targets(const Graph& g, const EdgeProgram& ep,
+                              ResolvedProgram& rp, const std::int32_t* list,
+                              std::int64_t count, std::int64_t t_lo,
+                              std::int64_t t_hi) {
+  WorkerState& ws = worker_scratch(ep);
   for (std::size_t i = 0; i < ep.vertex_outputs.size(); ++i) {
     if (sequential_reduce(ep, ep.vertex_outputs[i])) continue;
     const VertexOutput& vo = ep.vertex_outputs[i];
     const std::int64_t w = vo.width;
-    // Targets are src vertices when reverse, dst vertices otherwise.
+    // Targets are src vertices when reverse, dst vertices otherwise; the
+    // walker is the opposite endpoint.
     const auto& ptr = vo.reverse ? g.out_ptr() : g.in_ptr();
+    const auto& adj = vo.reverse ? g.out_dst() : g.in_src();
     const auto& eid = vo.reverse ? g.out_eid() : g.in_eid();
     const float* stash = rp.boundary_ptr[i];
+    const std::vector<RInstr>& replay = rp.recompute[i];
+    const int sreg = rp.src_reg[i];
     float* out = rp.vout_data[i];
-    parallel_for_chunks(0, n, [&](std::int64_t t_lo, std::int64_t t_hi) {
-      for (std::int64_t t = t_lo; t < t_hi; ++t) {
-        float* row = out + t * w;
-        std::fill_n(row, w, 0.f);
-        for (std::int64_t k = ptr[t]; k < ptr[t + 1]; ++k) {
-          const float* c = stash + static_cast<std::int64_t>(eid[k]) * w;
-          for (std::int64_t j = 0; j < w; ++j) row[j] += c[j];
+    const std::int64_t total = list != nullptr ? count : t_hi - t_lo;
+    for (std::int64_t idx = 0; idx < total; ++idx) {
+      const std::int64_t t = list != nullptr ? list[idx] : t_lo + idx;
+      float* row = out + t * w;
+      std::fill_n(row, w, 0.f);
+      for (std::int64_t k = ptr[t]; k < ptr[t + 1]; ++k) {
+        const std::int64_t e = eid[k];
+        const float* c;
+        if (stash != nullptr) {
+          c = stash + e * w;
+        } else {
+          const std::int64_t other = adj[k];
+          const std::int64_t src = vo.reverse ? t : other;
+          const std::int64_t dst = vo.reverse ? other : t;
+          for (const RInstr& in : replay) {
+            eval_instr(in, ws, ep, rp, src, dst, e, /*center=*/other);
+          }
+          c = ws.ptr[sreg];
         }
+        for (std::int64_t j = 0; j < w; ++j) row[j] += c[j];
       }
-    }, /*grain=*/256);
+    }
   }
+}
+
+/// Single-shard boundary combine: chunked sweep over all vertices.
+void combine_boundary(const Graph& g, const EdgeProgram& ep,
+                      ResolvedProgram& rp) {
+  if (!rp.has_boundary) return;
+  parallel_for_chunks(0, g.num_vertices(),
+                      [&](std::int64_t t_lo, std::int64_t t_hi) {
+                        combine_boundary_targets(g, ep, rp, nullptr, 0, t_lo,
+                                                 t_hi);
+                      },
+                      /*grain=*/256);
 }
 
 /// Analytic cost accounting for one kernel covering `n_v` vertices and `m_e`
@@ -569,9 +697,127 @@ void run_edge_program(const Graph& g, const EdgeProgram& ep, const VmBindings& b
   charge_program(g.num_vertices(), g.num_edges(), ep);
 }
 
+namespace {
+
+/// Barrier path: walk all shards, join, then combine as K owner-range tasks.
+/// Per-task walk/combine durations land in `walk_s` / `comb_s` (seconds).
+void run_sharded_barrier(const Graph& g, const Partitioning& part,
+                         const EdgeProgram& ep, ResolvedProgram& rp,
+                         std::vector<double>& walk_s,
+                         std::vector<double>& comb_s) {
+  const int k = part.num_shards();
+  if (ep.mapping == WorkMapping::VertexBalanced) {
+    // One unit of pool work per shard: the shard is the placement unit, so
+    // there is deliberately no intra-shard work stealing.
+    parallel_for(0, k, [&](std::int64_t s) {
+      const Shard& sh = part.shard(static_cast<int>(s));
+      Timer t;
+      walk_vertex_range(g, ep, rp, sh.v_lo, sh.v_hi);
+      walk_s[s] = t.seconds();
+    }, /*grain=*/1);
+  } else {
+    // Edge-balanced programs shard the flat edge list into K even ranges;
+    // vertex ownership is irrelevant to the walk and the combine restores
+    // determinism regardless.
+    const std::int64_t m = g.num_edges();
+    parallel_for(0, k, [&](std::int64_t s) {
+      const EdgeRange r = edge_shard_range(m, k, static_cast<int>(s));
+      Timer t;
+      walk_edge_range(g, ep, rp, r.lo, r.hi);
+      walk_s[s] = t.seconds();
+    }, /*grain=*/1);
+  }
+  if (rp.has_boundary) {
+    // Owner-range combine: shard ranges partition [0, |V|), and the fold
+    // order within each row is fixed, so K concurrent tasks reproduce the
+    // serial sweep bit for bit.
+    parallel_for(0, k, [&](std::int64_t s) {
+      const Shard& sh = part.shard(static_cast<int>(s));
+      Timer t;
+      combine_boundary_targets(g, ep, rp, nullptr, 0, sh.v_lo, sh.v_hi);
+      comb_s[s] = t.seconds();
+    }, /*grain=*/1);
+  }
+}
+
+/// Pipelined path (vertex-balanced only): frontier-first walks publishing
+/// through PipelineRun's ready counters; each owner shard's combine fires
+/// the instant its dependencies clear — its frontier rows on the thread
+/// whose publish completed the dependency set, its interior rows (whose
+/// contributors are all local) inline right after the shard's own walk.
+/// Overlap bookkeeping: per-slot single writer, read after the join.
+void run_sharded_pipelined(const Graph& g, const Partitioning& part,
+                           const EdgeProgram& ep, ResolvedProgram& rp,
+                           const PipelineSchedule& sched,
+                           std::vector<double>& walk_s,
+                           std::vector<double>& comb_s) {
+  const int k = part.num_shards();
+  const Timer ref;  // shared epoch for overlap windows; read-only after here
+  std::vector<double> fc_lo(k, 0.0), fc_hi(k, 0.0);  // frontier-combine spans
+  std::vector<double> ic_lo(k, 0.0), ic_hi(k, 0.0);  // interior-combine spans
+  std::vector<double> pub(k, 0.0);                   // full-walk publish times
+  PipelineRun run(sched, [&](int s) {
+    if (!rp.has_boundary) return;  // nothing to fold, and no span to record
+    const Shard& sh = part.shard(s);
+    const double t0 = ref.seconds();
+    combine_boundary_targets(g, ep, rp, sh.frontier.data(),
+                             static_cast<std::int64_t>(sh.frontier.size()),
+                             0, 0);
+    fc_lo[s] = t0;
+    fc_hi[s] = ref.seconds();
+  });
+  parallel_for(0, k, [&](std::int64_t si) {
+    const int s = static_cast<int>(si);
+    const Shard& sh = part.shard(s);
+    Timer wt;
+    walk_vertex_list(g, ep, rp, sh.frontier);
+    const double front_s = wt.seconds();
+    run.publish_frontier(s);  // may fire dependent combines inline
+    Timer wt2;
+    walk_vertex_list(g, ep, rp, sh.interior);
+    walk_s[s] = front_s + wt2.seconds();
+    pub[s] = ref.seconds();
+    run.publish_full(s);  // may fire this shard's frontier combine inline
+    if (rp.has_boundary) {
+      // Interior targets receive contributions only from this shard's own
+      // walkers, which just finished on this very thread — no dependency
+      // tracking needed, and the work overlaps other shards' walks.
+      const double t0 = ref.seconds();
+      combine_boundary_targets(g, ep, rp, sh.interior.data(),
+                               static_cast<std::int64_t>(sh.interior.size()),
+                               0, 0);
+      ic_lo[s] = t0;
+      ic_hi[s] = ref.seconds();
+    }
+  }, /*grain=*/1);
+  TRIAD_CHECK(run.all_done(), "pipelined combine did not fire for every shard");
+
+  // Post-join accounting on the caller thread (PerfCounters is thread-local).
+  PerfCounters& c = global_counters();
+  double last_pub = 0.0;
+  for (int s = 0; s < k; ++s) last_pub = std::max(last_pub, pub[s]);
+  double overlap = 0.0;
+  for (int s = 0; s < k; ++s) {
+    comb_s[s] = (fc_hi[s] - fc_lo[s]) + (ic_hi[s] - ic_lo[s]);
+    // Combine time spent while at least one shard was still walking — the
+    // part of the sweep the barrier path would have serialized after it.
+    overlap += std::max(0.0, std::min(fc_hi[s], last_pub) - fc_lo[s]);
+    overlap += std::max(0.0, std::min(ic_hi[s], last_pub) - ic_lo[s]);
+    const Shard& sh = part.shard(s);
+    c.frontier_edges += static_cast<std::uint64_t>(
+        ep.dst_major ? sh.frontier_in_edges : sh.frontier_out_edges);
+    c.interior_edges += static_cast<std::uint64_t>(
+        ep.dst_major ? sh.interior_in_edges() : sh.interior_out_edges());
+  }
+  c.combine_overlap_ns += static_cast<std::uint64_t>(overlap * 1e9);
+}
+
+}  // namespace
+
 void run_edge_program_sharded(const Graph& g, const Partitioning& part,
                               const EdgeProgram& ep, const VmBindings& b,
-                              const CoreBinding* core) {
+                              const CoreBinding* core,
+                              const PipelineSchedule* pipeline) {
   check_program(ep);
   TRIAD_CHECK_EQ(part.num_vertices(), g.num_vertices(),
                  "partitioning built for a different graph");
@@ -579,8 +825,9 @@ void run_edge_program_sharded(const Graph& g, const Partitioning& part,
   const int k = part.num_shards();
   if (core != nullptr && core->specialized()) {
     // Specialized path: shard-per-pool-task like the interpreter; cores only
-    // run all-sequential programs, so shard output needs no combine and is
-    // bit-identical to the single-shard core (same per-vertex loops).
+    // run all-sequential programs, so shard output needs no combine, nothing
+    // to pipeline, and is bit-identical to the single-shard core (same
+    // per-vertex loops).
     const CoreArgs args = resolve_core_args(*core, ep, b);
     parallel_for(0, k, [&](std::int64_t s) {
       const Shard& sh = part.shard(static_cast<int>(s));
@@ -589,25 +836,22 @@ void run_edge_program_sharded(const Graph& g, const Partitioning& part,
     global_counters().specialized_edges += static_cast<std::uint64_t>(g.num_edges());
   } else {
     ResolvedProgram rp = resolve(g, ep, b);
-    if (ep.mapping == WorkMapping::VertexBalanced) {
-      // One unit of pool work per shard: the shard is the placement unit, so
-      // there is deliberately no intra-shard work stealing.
-      parallel_for(0, k, [&](std::int64_t s) {
-        const Shard& sh = part.shard(static_cast<int>(s));
-        walk_vertex_range(g, ep, rp, sh.v_lo, sh.v_hi);
-      }, /*grain=*/1);
+    std::vector<double> walk_s(k, 0.0), comb_s(k, 0.0);
+    if (pipeline != nullptr && ep.mapping == WorkMapping::VertexBalanced) {
+      TRIAD_CHECK_EQ(pipeline->num_shards(), k,
+                     "pipeline schedule built for a different partitioning");
+      run_sharded_pipelined(g, part, ep, rp, *pipeline, walk_s, comb_s);
     } else {
-      // Edge-balanced programs shard the flat edge list into K even ranges;
-      // vertex ownership is irrelevant to the walk and the combine restores
-      // determinism regardless.
-      const std::int64_t m = g.num_edges();
-      parallel_for(0, k, [&](std::int64_t s) {
-        const EdgeRange r = edge_shard_range(m, k, static_cast<int>(s));
-        walk_edge_range(g, ep, rp, r.lo, r.hi);
-      }, /*grain=*/1);
+      // Edge-balanced programs keep the barrier: their walk order is not
+      // vertex-owned, so there is no frontier/interior split to exploit.
+      run_sharded_barrier(g, part, ep, rp, walk_s, comb_s);
     }
-    combine_boundary(g, ep, rp);
-    global_counters().interpreted_edges += static_cast<std::uint64_t>(g.num_edges());
+    PerfCounters& c = global_counters();
+    for (int s = 0; s < k; ++s) {
+      c.walk_ns += static_cast<std::uint64_t>(walk_s[s] * 1e9);
+      c.combine_ns += static_cast<std::uint64_t>(comb_s[s] * 1e9);
+    }
+    c.interpreted_edges += static_cast<std::uint64_t>(g.num_edges());
   }
 
   // Per-shard charging: each shard is one modeled kernel over its owned

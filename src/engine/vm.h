@@ -18,6 +18,14 @@
 /// bit-identical to the single-shard path. Analytic costs are charged per
 /// shard (one modeled kernel launch each), and the boundary-combine traffic
 /// of cross-shard reductions is charged to PerfCounters::combine_bytes.
+///
+/// With a PipelineSchedule (engine/pipeline.h) the sharded interpreter runs
+/// dependency-driven instead of barriered: shards walk their frontier
+/// vertices first and publish through atomic ready counters, and each owner
+/// shard's combine fires as soon as the shards contributing to its cut have
+/// published — overlapping combine with remaining interior compute. Output
+/// stays bit-identical; PerfCounters::{interior,frontier}_edges and
+/// combine_overlap_ns report what the pipeline did.
 #pragma once
 
 #include <functional>
@@ -53,11 +61,19 @@ struct VmBindings {
 void run_edge_program(const Graph& g, const EdgeProgram& ep, const VmBindings& b,
                       const CoreBinding* core = nullptr);
 
+class PipelineSchedule;
+
 /// Executes the program shard-by-shard: each shard's owned range is one unit
 /// of pool work (shard = unit of placement; no intra-shard work stealing).
 /// Output is bit-identical to run_edge_program for every K.
+///
+/// `pipeline`: optional combine-dependency schedule (must match `part`).
+/// Non-null runs vertex-balanced interpreted programs through the pipelined
+/// frontier-first path instead of the barrier; specialized cores and
+/// edge-balanced programs ignore it. Bit-identical either way.
 void run_edge_program_sharded(const Graph& g, const Partitioning& part,
                               const EdgeProgram& ep, const VmBindings& b,
-                              const CoreBinding* core = nullptr);
+                              const CoreBinding* core = nullptr,
+                              const PipelineSchedule* pipeline = nullptr);
 
 }  // namespace triad

@@ -50,7 +50,14 @@ std::string PerfCounters::to_string() const {
          " rewrites=" + std::to_string(graph_rewrites) +
          " plans=" + std::to_string(plan_compiles) +
          " spec_edges=" + human_count(specialized_edges) +
-         " interp_edges=" + human_count(interpreted_edges);
+         " interp_edges=" + human_count(interpreted_edges) +
+         " interior_edges=" + human_count(interior_edges) +
+         " frontier_edges=" + human_count(frontier_edges) +
+         " walk=" + human_count(walk_ns) + "ns" +
+         " comb=" + human_count(combine_ns) + "ns" +
+         " comb_overlap=" + human_count(combine_overlap_ns) + "ns" +
+         " stash=" + human_bytes(boundary_stash_bytes) +
+         " stash_saved=" + human_bytes(boundary_stash_saved_bytes);
 }
 
 }  // namespace triad

@@ -28,6 +28,13 @@ struct PerfCounters {
   std::uint64_t plan_compiles = 0;     ///< ExecutionPlans built (compile-time work)
   std::uint64_t specialized_edges = 0;  ///< edges run by specialized cores
   std::uint64_t interpreted_edges = 0;  ///< edges run by the VM interpreter
+  std::uint64_t interior_edges = 0;     ///< pipelined walks: edges of interior vertices
+  std::uint64_t frontier_edges = 0;     ///< pipelined walks: edges of frontier vertices
+  std::uint64_t walk_ns = 0;            ///< sharded walks: per-shard task time, summed
+  std::uint64_t combine_ns = 0;         ///< sharded combine: per-task time, summed
+  std::uint64_t combine_overlap_ns = 0; ///< combine time hidden under still-walking shards
+  std::uint64_t boundary_stash_bytes = 0;        ///< per-edge stash actually allocated
+  std::uint64_t boundary_stash_saved_bytes = 0;  ///< stash elided via combine-time recompute
 
   std::uint64_t io_bytes() const { return dram_read_bytes + dram_write_bytes; }
   /// Total compile-phase events; zero across a window proves the window ran
@@ -48,6 +55,14 @@ struct PerfCounters {
     r.plan_compiles = plan_compiles - o.plan_compiles;
     r.specialized_edges = specialized_edges - o.specialized_edges;
     r.interpreted_edges = interpreted_edges - o.interpreted_edges;
+    r.interior_edges = interior_edges - o.interior_edges;
+    r.frontier_edges = frontier_edges - o.frontier_edges;
+    r.walk_ns = walk_ns - o.walk_ns;
+    r.combine_ns = combine_ns - o.combine_ns;
+    r.combine_overlap_ns = combine_overlap_ns - o.combine_overlap_ns;
+    r.boundary_stash_bytes = boundary_stash_bytes - o.boundary_stash_bytes;
+    r.boundary_stash_saved_bytes =
+        boundary_stash_saved_bytes - o.boundary_stash_saved_bytes;
     return r;
   }
   PerfCounters& operator+=(const PerfCounters& o) {
@@ -63,6 +78,13 @@ struct PerfCounters {
     plan_compiles += o.plan_compiles;
     specialized_edges += o.specialized_edges;
     interpreted_edges += o.interpreted_edges;
+    interior_edges += o.interior_edges;
+    frontier_edges += o.frontier_edges;
+    walk_ns += o.walk_ns;
+    combine_ns += o.combine_ns;
+    combine_overlap_ns += o.combine_overlap_ns;
+    boundary_stash_bytes += o.boundary_stash_bytes;
+    boundary_stash_saved_bytes += o.boundary_stash_saved_bytes;
     return *this;
   }
 

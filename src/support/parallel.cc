@@ -1,6 +1,7 @@
 #include "support/parallel.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <exception>
 
@@ -14,8 +15,10 @@ unsigned& pool_size_override() {
   return n;
 }
 
-bool& pool_constructed() {
-  static bool constructed = false;
+// Atomic: every global_pool() caller stores it, possibly concurrently (e.g.
+// serving workers racing to first pool use).
+std::atomic<bool>& pool_constructed() {
+  static std::atomic<bool> constructed{false};
   return constructed;
 }
 
@@ -118,13 +121,13 @@ void ThreadPool::worker_loop(unsigned index) {
 }
 
 ThreadPool& global_pool() {
-  pool_constructed() = true;
+  pool_constructed().store(true, std::memory_order_relaxed);
   static ThreadPool pool(decide_pool_size());
   return pool;
 }
 
 bool set_global_pool_threads(unsigned num_threads) {
-  if (pool_constructed()) return false;
+  if (pool_constructed().load(std::memory_order_relaxed)) return false;
   pool_size_override() = num_threads;
   return true;
 }

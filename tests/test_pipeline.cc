@@ -1,0 +1,482 @@
+// Pipelined sharded execution (engine/pipeline.h): the interior/frontier
+// classification, the combine-dependency schedule, bit-identity of the
+// dependency-driven path against the barrier path and K=1, the ready-flag
+// handoff under repeated runs, and the boundary-stash elision accounting.
+//
+// The guarantee under test is exact: the pipeline reorders *when* work runs
+// (frontier-first walks, combines firing mid-walk), never the fold order of
+// any reduction — so every comparison here is memcmp on float bits, not a
+// tolerance.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/strategy.h"
+#include "engine/pipeline.h"
+#include "engine/vm.h"
+#include "graph/generators.h"
+#include "graph/partition.h"
+#include "models/models.h"
+#include "models/trainer.h"
+#include "support/counters.h"
+#include "support/rng.h"
+
+namespace triad {
+namespace {
+
+Graph test_graph() {
+  Rng rng(11);
+  return gen::rmat(7, 1500, rng);  // 128 vertices, skewed degrees
+}
+
+Tensor random_features(std::int64_t n, std::int64_t d, MemoryPool* pool) {
+  Rng rng(23);
+  Tensor t(n, d, MemTag::kInput, pool);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t.data()[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return t;
+}
+
+IntTensor random_labels(std::int64_t n, std::int32_t classes) {
+  Rng rng(29);
+  IntTensor t(n, 1);
+  for (std::int64_t v = 0; v < n; ++v) {
+    t.at(v, 0) = static_cast<std::int32_t>(rng.uniform_int(classes));
+  }
+  return t;
+}
+
+void expect_bit_identical(const Tensor& a, const Tensor& b, const char* what) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                        static_cast<std::size_t>(a.numel()) * sizeof(float)),
+            0)
+      << what << " differs bitwise";
+}
+
+/// `ours()` / `ours_no_fusion()` with the pipeline knob off — the barrier
+/// baseline the bit-identity sweep compares against.
+Strategy without_pipeline(Strategy s) {
+  s.pipeline = false;
+  s.name += "(-pipeline)";
+  return s;
+}
+
+struct RunResult {
+  Tensor logits;
+  std::vector<Tensor> params;
+};
+
+/// One deterministic training run; pseudo_dim > 0 builds the MoNet edge
+/// pseudo-coordinates input.
+template <typename BuildFn>
+RunResult train_run(const Graph& g, BuildFn&& build, int shards, int steps,
+                    std::int64_t in_dim, std::int64_t pseudo_dim,
+                    const Strategy& strat) {
+  Rng mrng(7);  // fixed: identical initial weights across runs
+  Compiled c = compile_model(build(mrng), strat, /*training=*/true, g, shards,
+                             PartitionStrategy::DegreeBalanced);
+  std::vector<int> param_nodes = c.params;
+  MemoryPool pool;
+  Tensor pseudo =
+      pseudo_dim > 0 ? make_pseudo_coords(g, pseudo_dim) : Tensor{};
+  Trainer t(std::move(c), g, random_features(g.num_vertices(), in_dim, &pool),
+            std::move(pseudo), &pool);
+  const IntTensor labels = random_labels(g.num_vertices(), 4);
+  for (int i = 0; i < steps; ++i) t.train_step(labels, 1e-2f);
+  RunResult r{t.logits().clone(MemTag::kWorkspace), {}};
+  for (int p : param_nodes) {
+    r.params.push_back(t.runner().result(p).clone(MemTag::kWorkspace));
+  }
+  return r;
+}
+
+/// Pipelined-on vs barrier vs K=1 vs unsharded, all bitwise, for one model
+/// under both the fused and unfused strategy (fusion changes which programs
+/// have boundary reductions, so both are worth pinning).
+template <typename BuildFn>
+void check_bit_identity(const Graph& g, BuildFn&& build, std::int64_t in_dim,
+                        std::int64_t pseudo_dim, const char* what) {
+  for (const Strategy& strat : {ours(), ours_no_fusion()}) {
+    const RunResult base =
+        train_run(g, build, /*shards=*/0, 2, in_dim, pseudo_dim, strat);
+    for (int k : {1, 4, 8}) {
+      const RunResult on = train_run(g, build, k, 2, in_dim, pseudo_dim, strat);
+      const RunResult off = train_run(g, build, k, 2, in_dim, pseudo_dim,
+                                      without_pipeline(strat));
+      expect_bit_identical(base.logits, on.logits, what);
+      expect_bit_identical(base.logits, off.logits, what);
+      ASSERT_EQ(base.params.size(), on.params.size());
+      ASSERT_EQ(base.params.size(), off.params.size());
+      for (std::size_t i = 0; i < base.params.size(); ++i) {
+        expect_bit_identical(base.params[i], on.params[i], what);
+        expect_bit_identical(base.params[i], off.params[i], what);
+      }
+    }
+  }
+}
+
+TEST(Pipeline, GcnBitIdentical) {
+  const Graph g = test_graph();
+  check_bit_identity(
+      g,
+      [](Rng& r) {
+        GcnConfig cfg;
+        cfg.in_dim = 6;
+        cfg.hidden = {8};
+        cfg.num_classes = 4;
+        return build_gcn(cfg, r);
+      },
+      6, 0, "GCN");
+}
+
+TEST(Pipeline, GatBitIdentical) {
+  const Graph g = test_graph();
+  check_bit_identity(
+      g,
+      [](Rng& r) {
+        GatConfig cfg;
+        cfg.in_dim = 6;
+        cfg.hidden = 8;
+        cfg.heads = 2;
+        cfg.layers = 2;
+        cfg.num_classes = 4;
+        return build_gat(cfg, r);
+      },
+      6, 0, "GAT");
+}
+
+TEST(Pipeline, EdgeConvBitIdentical) {
+  // Max reductions with argmax + reverse-orientation gradient combines.
+  const Graph g = test_graph();
+  check_bit_identity(
+      g,
+      [](Rng& r) {
+        EdgeConvConfig cfg;
+        cfg.in_dim = 5;
+        cfg.hidden = {8, 8};
+        cfg.num_classes = 4;
+        return build_edgeconv(cfg, r);
+      },
+      5, 0, "EdgeConv");
+}
+
+TEST(Pipeline, MoNetBitIdentical) {
+  const Graph g = test_graph();
+  check_bit_identity(
+      g,
+      [](Rng& r) {
+        MoNetConfig cfg;
+        cfg.in_dim = 5;
+        cfg.hidden = 8;
+        cfg.layers = 2;
+        cfg.kernels = 2;
+        cfg.pseudo_dim = 2;
+        cfg.num_classes = 4;
+        return build_monet(cfg, r);
+      },
+      5, 2, "MoNet");
+}
+
+// --- interior/frontier classification ---------------------------------------
+
+TEST(Pipeline, ClassificationMatchesBruteForce) {
+  Rng rng(3);
+  const Graph g = gen::rmat(6, 600, rng);  // 64 vertices
+  const Partitioning part =
+      Partitioning::build(g, 4, PartitionStrategy::DegreeBalanced);
+  std::int64_t total_frontier = 0;
+  for (const Shard& sh : part.shards()) {
+    std::vector<char> is_frontier(g.num_vertices(), 0);
+    std::int64_t fin = 0, fout = 0;
+    for (std::int64_t v = sh.v_lo; v < sh.v_hi; ++v) {
+      bool foreign = false;
+      for (std::int64_t i = g.in_ptr()[v]; i < g.in_ptr()[v + 1]; ++i) {
+        if (!sh.owns(g.in_src()[i])) foreign = true;
+      }
+      for (std::int64_t i = g.out_ptr()[v]; i < g.out_ptr()[v + 1]; ++i) {
+        if (!sh.owns(g.out_dst()[i])) foreign = true;
+      }
+      is_frontier[v] = foreign;
+      if (foreign) {
+        fin += g.in_ptr()[v + 1] - g.in_ptr()[v];
+        fout += g.out_ptr()[v + 1] - g.out_ptr()[v];
+      }
+    }
+    // frontier and interior partition the owned range, each ascending.
+    EXPECT_EQ(static_cast<std::int64_t>(sh.frontier.size() + sh.interior.size()),
+              sh.num_vertices());
+    for (std::int32_t v : sh.frontier) EXPECT_TRUE(is_frontier[v]);
+    for (std::int32_t v : sh.interior) EXPECT_FALSE(is_frontier[v]);
+    EXPECT_EQ(sh.frontier_in_edges, fin);
+    EXPECT_EQ(sh.frontier_out_edges, fout);
+    EXPECT_EQ(sh.interior_in_edges(), sh.num_in_edges() - fin);
+    EXPECT_EQ(sh.interior_out_edges(), sh.num_out_edges() - fout);
+    total_frontier += static_cast<std::int64_t>(sh.frontier.size());
+  }
+  EXPECT_EQ(part.total_frontier_vertices(), total_frontier);
+}
+
+TEST(Pipeline, EmptyShardsClassifyEmpty) {
+  // K > |V|: trailing shards own nothing and must classify as nothing.
+  Rng rng(5);
+  const Graph g = gen::erdos_renyi(5, 12, rng);
+  const Partitioning part =
+      Partitioning::build(g, 8, PartitionStrategy::VertexRange);
+  const PipelineSchedule sched(part);
+  int empty = 0;
+  for (const Shard& sh : part.shards()) {
+    if (sh.num_vertices() == 0) {
+      ++empty;
+      EXPECT_TRUE(sh.frontier.empty());
+      EXPECT_TRUE(sh.interior.empty());
+      EXPECT_EQ(sh.frontier_in_edges, 0);
+    }
+    EXPECT_EQ(sched.init_pending(sh.id),
+              static_cast<int>(sh.neighbor_shards.size()) + 1);
+  }
+  EXPECT_GT(empty, 0);
+}
+
+TEST(Pipeline, CompleteGraphIsAllFrontier) {
+  // Complete directed graph, one shard per vertex pair: every vertex has a
+  // foreign neighbor, so interior is empty everywhere.
+  const std::int64_t n = 8;
+  std::vector<Edge> edges;
+  for (std::int32_t u = 0; u < n; ++u) {
+    for (std::int32_t v = 0; v < n; ++v) {
+      if (u != v) edges.push_back({u, v});
+    }
+  }
+  const Graph g(n, std::move(edges));
+  const Partitioning part =
+      Partitioning::build(g, 4, PartitionStrategy::VertexRange);
+  for (const Shard& sh : part.shards()) {
+    EXPECT_EQ(static_cast<std::int64_t>(sh.frontier.size()), sh.num_vertices());
+    EXPECT_TRUE(sh.interior.empty());
+    EXPECT_EQ(static_cast<int>(sh.neighbor_shards.size()), 3);
+  }
+}
+
+TEST(Pipeline, IsolatedVerticesAreInterior) {
+  // No edges at all: nothing can cross a shard boundary.
+  const Graph g(12, std::vector<Edge>{});
+  const Partitioning part =
+      Partitioning::build(g, 4, PartitionStrategy::VertexRange);
+  const PipelineSchedule sched(part);
+  for (const Shard& sh : part.shards()) {
+    EXPECT_TRUE(sh.frontier.empty());
+    EXPECT_EQ(static_cast<std::int64_t>(sh.interior.size()), sh.num_vertices());
+    EXPECT_TRUE(sh.neighbor_shards.empty());
+    EXPECT_EQ(sched.init_pending(sh.id), 1);  // only its own full publish
+  }
+  EXPECT_EQ(part.total_frontier_vertices(), 0);
+}
+
+TEST(Pipeline, ScheduleMatchesNeighborTopology) {
+  const Graph g = test_graph();
+  const Partitioning part =
+      Partitioning::build(g, 8, PartitionStrategy::DegreeBalanced);
+  const PipelineSchedule sched(part);
+  ASSERT_EQ(sched.num_shards(), 8);
+  for (int s = 0; s < 8; ++s) {
+    const Shard& sh = part.shard(s);
+    EXPECT_EQ(sched.init_pending(s),
+              static_cast<int>(sh.neighbor_shards.size()) + 1);
+    EXPECT_EQ(sched.dependents(s), sh.neighbor_shards);
+    for (std::int32_t t : sh.neighbor_shards) {
+      // The dependency relation is symmetric (a cut edge is foreign to both
+      // of its endpoint owners).
+      const auto& back = part.shard(t).neighbor_shards;
+      EXPECT_NE(std::find(back.begin(), back.end(), s), back.end())
+          << "shard " << t << " missing back-edge to " << s;
+    }
+  }
+}
+
+// --- direct VM runs: ready-flag handoff and stash elision -------------------
+
+struct Env {
+  std::unordered_map<int, Tensor> tensors;
+  std::unordered_map<int, Tensor> outs;
+  std::unordered_map<int, IntTensor> auxes;
+
+  VmBindings bindings() {
+    VmBindings b;
+    b.tensor = [this](int id) -> const Tensor& { return tensors.at(id); };
+    b.aux = [this](int id) -> const IntTensor& { return auxes.at(id); };
+    b.out = [this](int id) -> Tensor& { return outs.at(id); };
+    b.out_aux = [this](int id) -> IntTensor& { return auxes[id]; };
+    return b;
+  }
+};
+
+EPInstr load(EPOp op, int dst, int tensor, std::int64_t w) {
+  EPInstr i;
+  i.op = op;
+  i.dst = dst;
+  i.tensor = tensor;
+  i.width = w;
+  return i;
+}
+EPInstr binop(EPOp op, int dst, int a, int b, std::int64_t w) {
+  EPInstr i;
+  i.op = op;
+  i.dst = dst;
+  i.a = a;
+  i.b = b;
+  i.width = w;
+  return i;
+}
+EPInstr reduce(int a, int acc, std::int64_t w) {
+  EPInstr i;
+  i.op = EPOp::Reduce;
+  i.a = a;
+  i.acc = acc;
+  i.width = w;
+  return i;
+}
+
+/// Dst-major walk with a reduce-to-src Sum: every edge contributes through
+/// the boundary combine — the most pipeline-dependent program shape.
+/// `costly` adds arithmetic past the elision threshold so the per-edge
+/// stash path (not recompute) carries the contribution.
+EdgeProgram boundary_program(std::int64_t f, bool costly) {
+  EdgeProgram ep;
+  ep.mapping = WorkMapping::VertexBalanced;
+  ep.dst_major = true;
+  ep.phases.resize(1);
+  if (costly) {
+    // ((x_u + x_v) * x_u) - x_v: 3 arithmetic ops -> stash, not recompute.
+    ep.phases[0].instrs = {load(EPOp::LoadU, 0, 0, f),
+                           load(EPOp::LoadV, 1, 0, f),
+                           binop(EPOp::Add, 2, 0, 1, f),
+                           binop(EPOp::Mul, 3, 2, 0, f),
+                           binop(EPOp::Sub, 4, 3, 1, f),
+                           reduce(4, 0, f)};
+    ep.num_regs = 5;
+    ep.reg_width = {f, f, f, f, f};
+  } else {
+    // x_u + x_v: cheap enough that the combine recomputes it per edge.
+    ep.phases[0].instrs = {load(EPOp::LoadU, 0, 0, f),
+                           load(EPOp::LoadV, 1, 0, f),
+                           binop(EPOp::Add, 2, 0, 1, f), reduce(2, 0, f)};
+    ep.num_regs = 3;
+    ep.reg_width = {f, f, f};
+  }
+  ep.vertex_outputs.push_back({1, static_cast<std::uint8_t>(ReduceFn::Sum), f,
+                               0, /*reverse=*/true, false, false});
+  return ep;
+}
+
+TEST(Pipeline, ReadyFlagStressBitIdentical) {
+  // Repeated pipelined runs against a fixed unsharded reference: every
+  // publish/combine interleaving must produce the same bits. (Single-core
+  // hosts serialize the tasks; the CI TSan job runs this with real threads.)
+  Rng rng(11);
+  const Graph g = test_graph();
+  const std::int64_t n = g.num_vertices(), f = 4;
+  const Partitioning part =
+      Partitioning::build(g, 8, PartitionStrategy::DegreeBalanced);
+  const PipelineSchedule sched(part);
+  for (const bool costly : {false, true}) {
+    const EdgeProgram ep = boundary_program(f, costly);
+    Env env;
+    env.tensors.emplace(0, Tensor::randn(n, f, rng));
+    env.outs.emplace(1, Tensor::zeros(n, f));
+    run_edge_program(g, ep, env.bindings());
+    const Tensor ref = env.outs.at(1).clone();
+    for (int rep = 0; rep < 25; ++rep) {
+      env.outs.at(1).fill(0.f);
+      run_edge_program_sharded(g, part, ep, env.bindings(), nullptr, &sched);
+      expect_bit_identical(ref, env.outs.at(1), "pipelined boundary sum");
+    }
+    // Barrier path off the same bindings agrees too.
+    env.outs.at(1).fill(0.f);
+    run_edge_program_sharded(g, part, ep, env.bindings(), nullptr, nullptr);
+    expect_bit_identical(ref, env.outs.at(1), "barrier boundary sum");
+  }
+}
+
+TEST(Pipeline, StashElisionSavesBytesAndStaysExact) {
+  Rng rng(13);
+  const Graph g = test_graph();
+  const std::int64_t n = g.num_vertices(), f = 4;
+  const EdgeProgram ep = boundary_program(f, /*costly=*/false);
+  Env env;
+  env.tensors.emplace(0, Tensor::randn(n, f, rng));
+  env.outs.emplace(1, Tensor::zeros(n, f));
+  CounterScope scope;
+  run_edge_program(g, ep, env.bindings());
+  const PerfCounters d = scope.delta();
+  // The one boundary output is cheap -> elided: the |E| x f stash is never
+  // allocated and its bytes are reported as saved.
+  EXPECT_EQ(d.boundary_stash_bytes, 0u);
+  EXPECT_EQ(d.boundary_stash_saved_bytes,
+            static_cast<std::uint64_t>(g.num_edges()) * f * sizeof(float));
+
+  // Recompute must reproduce the exact fold: out[u] = sum over outgoing
+  // edges (u, v) in out-CSC order of x_u + x_v.
+  Tensor expect = Tensor::zeros(n, f);
+  for (std::int64_t u = 0; u < n; ++u) {
+    float* row = expect.row(u);
+    const float* xu = env.tensors.at(0).row(u);
+    for (std::int64_t i = g.out_ptr()[u]; i < g.out_ptr()[u + 1]; ++i) {
+      const float* xv = env.tensors.at(0).row(g.out_dst()[i]);
+      for (std::int64_t j = 0; j < f; ++j) row[j] += xu[j] + xv[j];
+    }
+  }
+  expect_bit_identical(expect, env.outs.at(1), "elided boundary sum");
+}
+
+TEST(Pipeline, CostlyBoundaryKeepsStash) {
+  Rng rng(17);
+  const Graph g = test_graph();
+  const std::int64_t n = g.num_vertices(), f = 4;
+  const EdgeProgram ep = boundary_program(f, /*costly=*/true);
+  Env env;
+  env.tensors.emplace(0, Tensor::randn(n, f, rng));
+  env.outs.emplace(1, Tensor::zeros(n, f));
+  CounterScope scope;
+  run_edge_program(g, ep, env.bindings());
+  const PerfCounters d = scope.delta();
+  EXPECT_EQ(d.boundary_stash_bytes,
+            static_cast<std::uint64_t>(g.num_edges()) * f * sizeof(float));
+  EXPECT_EQ(d.boundary_stash_saved_bytes, 0u);
+}
+
+TEST(Pipeline, CountersChargeOnlyPipelinedRuns) {
+  const Graph g = test_graph();
+  const auto build = [](Rng& r) {
+    GcnConfig cfg;
+    cfg.in_dim = 6;
+    cfg.hidden = {8};
+    cfg.num_classes = 4;
+    return build_gcn(cfg, r);
+  };
+  // The pipeline applies to interpreted programs; specialized cores run
+  // their own per-shard loops. Force the interpreter so the counters fire.
+  CounterScope on_scope;
+  train_run(g, build, 4, 1, 6, 0, ours_no_specialize());
+  const PerfCounters on = on_scope.delta();
+  EXPECT_GT(on.interior_edges + on.frontier_edges, 0u);
+  EXPECT_GT(on.walk_ns, 0u);
+
+  CounterScope off_scope;
+  train_run(g, build, 4, 1, 6, 0, without_pipeline(ours_no_specialize()));
+  const PerfCounters off = off_scope.delta();
+  // The schedule-split counters are the pipelined path's signature; the
+  // barrier path reports walk/combine time but no interior/frontier split.
+  EXPECT_EQ(off.interior_edges, 0u);
+  EXPECT_EQ(off.frontier_edges, 0u);
+  EXPECT_EQ(off.combine_overlap_ns, 0u);
+  EXPECT_GT(off.walk_ns, 0u);
+}
+
+}  // namespace
+}  // namespace triad

@@ -82,6 +82,24 @@ std::unique_ptr<serve::InferenceServer> Model::server(serve::BatchPolicy batch,
       cfg);
 }
 
+std::string Model::register_with(serve::ServingHost& host,
+                                 serve::ModelOptions opts) const {
+  opts.strategy = opts_.strategy;
+  opts.shards = opts_.shards;
+  opts.partition_strategy = opts_.partition;
+  auto module = module_;
+  const unsigned seed = opts_.init_seed;
+  std::string name = cache_identity();
+  host.register_model(
+      name,
+      [module, seed] {
+        Rng rng(seed);
+        return module->build(rng);
+      },
+      std::move(opts));
+  return name;
+}
+
 Model Engine::compile(std::shared_ptr<const Module> module) const {
   return compile(std::move(module), opts_);
 }

@@ -31,6 +31,7 @@
 #include "baselines/strategy.h"
 #include "graph/datasets.h"
 #include "models/trainer.h"
+#include "serve/host.h"
 #include "serve/server.h"
 
 namespace triad::api {
@@ -91,6 +92,15 @@ class Model {
   /// from the init seed.
   std::unique_ptr<serve::InferenceServer> server(
       serve::BatchPolicy batch = {}, int workers = 1) const;
+
+  /// Registers this model with a multi-model ServingHost under its
+  /// cache_identity() and returns that name (the handle for submit()/
+  /// stats()/reload()). The model's strategy/sharding options override the
+  /// corresponding fields of `opts`; batch/SLO/shedding knobs are the
+  /// caller's. The registered builder rebuilds weights deterministically
+  /// from the init seed, so reload(name) restores pristine init weights.
+  std::string register_with(serve::ServingHost& host,
+                            serve::ModelOptions opts = {}) const;
 
   const Module& module() const { return *module_; }
   const CompileOptions& options() const { return opts_; }

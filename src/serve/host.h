@@ -1,0 +1,197 @@
+/// \file
+/// ServingHost: SLO-aware multi-model serving behind one front door.
+///
+/// Production traffic is not one model: a host registers N models, each keyed
+/// by its cache identity into its own PlanCache namespace with its own
+/// ServerStats, latency histogram, bounded admission queue, and SLO feedback
+/// controller. A shared pool of workers drains the per-model queues
+/// round-robin; every batch is single-model (collation is block-diagonal per
+/// model), so the bit-identity guarantee of serve/collate.h carries over
+/// unchanged — multi-model serving is still exactly solo execution per
+/// request.
+///
+/// Three serving policies live here, none of which InferenceServer has:
+///
+///  * Request priorities + admission control. Each model's BoundedQueue has
+///    one lane per Priority; High drains before Normal before Low. When queue
+///    depth reaches shed_fraction of capacity, Low-priority submissions are
+///    shed at admission (counted in ServerStats::shed) — load shedding
+///    protects the SLO of the traffic that matters instead of letting the
+///    queue tail inflate everyone's p99.
+///
+///  * SLO-aware adaptive batching. With an enabled SloPolicy the batch knobs
+///    stop being static: a target-p99 feedback controller (serve/slo.h)
+///    observes the recent latency tail after every batch and steers the
+///    effective max-wait/max-batch, trading batching headroom for tail
+///    latency only when the SLO has room.
+///
+///  * Hot weight reload. reload() swaps a model's parameter tensors without
+///    touching its shape-keyed plans (plans are weight-independent: workers
+///    bind the current weight snapshot at batch-serve time). The swap is
+///    atomic per batch — every response is computed entirely under the old or
+///    entirely under the new weights, never a torn mix.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/strategy.h"
+#include "graph/partition.h"
+#include "serve/batcher.h"
+#include "serve/collate.h"
+#include "serve/server.h"
+#include "serve/slo.h"
+#include "support/histogram.h"
+#include "support/queue.h"
+#include "support/timer.h"
+
+namespace triad::serve {
+
+/// Request priority: the queue lane a submission lands in. High drains
+/// first; Low is the sheddable class under admission control.
+enum class Priority { High = 0, Normal = 1, Low = 2 };
+inline constexpr int kPriorityLanes = 3;
+
+/// Admission verdict of try_submit — the open-loop load generator tells shed
+/// (SLO protection) apart from rejected (queue full) apart from closed.
+enum class Admission { Accepted, Shed, Rejected, Closed };
+
+/// Per-model serving configuration, fixed at registration.
+struct ModelOptions {
+  Strategy strategy = ours();  ///< pass pipeline the plans are compiled under
+  BatchPolicy batch;           ///< static knobs; the SLO controller's baseline
+  SloPolicy slo;               ///< disabled by default (pure static policy)
+  /// K > 0: execute each batch shard-parallel (deterministic boundary
+  /// combine — still bit-identical). 0 = unsharded chunked kernels.
+  int shards = 0;
+  PartitionStrategy partition_strategy = PartitionStrategy::DegreeBalanced;
+  /// Queue-depth fraction at or above which Low-priority submissions are
+  /// shed at admission. >= 1.0 disables shedding.
+  double shed_fraction = 0.75;
+};
+
+struct HostConfig {
+  /// Shared batch-serving loops across all models. 0 starts no threads —
+  /// batches are then served only by explicit pump() calls (deterministic
+  /// tests drive the host this way).
+  int workers = 1;
+};
+
+/// Per-model stats plus a cross-model aggregate. `total` sums the numeric
+/// fields; its latency snapshot carries merged count/sum/min/max only
+/// (percentiles do not compose across models — read them per model).
+struct HostStats {
+  std::map<std::string, ServerStats> models;
+  ServerStats total;
+};
+
+class ServingHost {
+ public:
+  /// Same contract as InferenceServer::ModelBuilder: self-contained (seed an
+  /// Rng inside), called on PlanCache misses from worker threads.
+  using ModelBuilder = std::function<ModelGraph()>;
+
+  explicit ServingHost(HostConfig config = {});
+  ~ServingHost();  ///< implies shutdown()
+
+  ServingHost(const ServingHost&) = delete;
+  ServingHost& operator=(const ServingHost&) = delete;
+
+  /// Registers a model under `name` (its PlanCache identity — include the
+  /// hyperparameters and weight version, e.g. api::Model::cache_identity()).
+  /// Builds the model once to capture the initial weight snapshot. Throws on
+  /// duplicate names and after shutdown().
+  void register_model(const std::string& name, ModelBuilder builder,
+                      ModelOptions opts = {});
+
+  /// Blocking submit: waits for queue space under back-pressure. Throws
+  /// triad::Error after shutdown(), for unknown models, and when the request
+  /// is shed by admission control (Low priority, queue depth at threshold).
+  std::future<InferenceResult> submit(const std::string& model,
+                                      InferenceRequest request,
+                                      Priority priority = Priority::Normal);
+
+  /// Admission-controlled submit: never blocks, never throws on refusal.
+  /// Shed and Rejected refusals are counted in the model's ServerStats;
+  /// `out` is set only when Accepted.
+  Admission try_submit(const std::string& model, InferenceRequest request,
+                       Priority priority,
+                       std::future<InferenceResult>* out);
+
+  /// Rebuilds `model`'s weights from its registered builder (or `builder`,
+  /// which also replaces the registered one for future plan compiles) and
+  /// swaps them in atomically. The model's compiled plans stay valid — only
+  /// the bound parameter payloads change. Throws (leaving the old weights
+  /// serving) if the builder throws or the new parameters do not match the
+  /// old shapes. The new builder must produce the same IR structure.
+  void reload(const std::string& model);
+  void reload(const std::string& model, ModelBuilder builder);
+
+  /// Serves at most one ready batch on the calling thread (zero batching
+  /// wait — only already-queued requests are collected). Returns false when
+  /// no request was waiting. The workers = 0 test-driving path.
+  bool pump();
+
+  /// Stops accepting requests, serves everything already queued, joins the
+  /// workers. Idempotent.
+  void shutdown();
+
+  ServerStats stats(const std::string& model) const;
+  HostStats stats() const;
+  std::vector<std::string> models() const;
+  const HostConfig& config() const { return config_; }
+
+ private:
+  struct Pending {
+    InferenceRequest request;
+    std::promise<InferenceResult> promise;
+    double submit_seconds = 0;  ///< on the host clock
+    Priority priority = Priority::Normal;
+  };
+
+  struct Entry;
+  struct Batch {
+    Entry* entry = nullptr;
+    std::vector<Pending> items;
+  };
+
+  Entry& entry(const std::string& model) const;
+  Admission admit(const std::string& model, InferenceRequest request,
+                  Priority priority, bool blocking,
+                  std::future<InferenceResult>* out);
+  /// Pops the next batch. Returns false when the host is closed and every
+  /// queue is drained (worker exit). `blocking` waits for work and honors
+  /// the effective max-wait; pump() passes false (zero-wait, at most one
+  /// scan). On true, out->items may still be empty (nothing ready).
+  bool collect(bool blocking, Batch* out);
+  void do_reload(Entry& e, ModelBuilder builder, bool install_builder);
+  void serve_batch(Entry& e, std::vector<Pending>& batch);
+  void worker_loop();
+  ServerStats snapshot(const Entry& e) const;
+
+  const HostConfig config_;
+  Timer clock_;  ///< host-lifetime clock; all timestamps are its seconds
+
+  mutable std::mutex mu_;  ///< registry, work signal, round-robin cursor
+  std::condition_variable work_cv_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+  std::unordered_map<std::string, std::size_t> index_;
+  std::size_t rr_next_ = 0;     ///< round-robin fairness across models
+  std::size_t queued_hint_ = 0; ///< queued items across models (work signal)
+  bool closed_ = false;
+
+  std::vector<std::thread> workers_;
+  std::mutex join_mu_;  ///< separate from mu_: workers take mu_ while running
+  bool joined_ = false;
+};
+
+}  // namespace triad::serve

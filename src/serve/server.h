@@ -59,14 +59,27 @@ struct ServerStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
   std::uint64_t rejected = 0;  ///< try_submit refusals (queue full)
+  /// Low-priority submissions refused by admission control because queue
+  /// depth threatened the SLO (ServingHost only; never counted as rejected).
+  std::uint64_t shed = 0;
   std::uint64_t failed = 0;    ///< promises fulfilled with an exception
   std::uint64_t batches = 0;
+  std::uint64_t reloads = 0;   ///< hot weight swaps applied (ServingHost)
+  /// SLO feedback-controller activity (ServingHost models with an enabled
+  /// SloPolicy): counted knob adjustments prove the mechanism engaged.
+  std::uint64_t slo_shrinks = 0;
+  std::uint64_t slo_grows = 0;
+  std::int64_t eff_max_wait_us = 0;  ///< effective max-wait at snapshot time
+  int eff_max_batch = 0;             ///< effective max-batch at snapshot time
   double busy_seconds = 0;  ///< summed batch execution time (all workers)
   double wall_seconds = 0;
   std::size_t queue_depth = 0;      ///< at snapshot time
   std::size_t pool_peak_bytes = 0;  ///< server-internal batch memory peak
   LatencyHistogram::Snapshot latency;
   PerfCounters counters;  ///< summed per-batch deltas across workers
+  /// batch_size_hist[b] = batches served at size b (index 0 unused);
+  /// populated by ServingHost (sized max_batch + 1 at registration).
+  std::vector<std::uint64_t> batch_size_hist;
 
   double throughput_rps() const {
     return wall_seconds > 0 ? static_cast<double>(completed) / wall_seconds : 0;

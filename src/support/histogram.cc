@@ -32,6 +32,16 @@ double LatencyHistogram::percentile(double p) const {
   return rank(sorted, p);
 }
 
+double LatencyHistogram::percentile_recent(double p, std::size_t window) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (samples_.empty() || window == 0) return 0.0;
+  const std::size_t n = std::min(window, samples_.size());
+  std::vector<double> sorted(samples_.end() - static_cast<std::ptrdiff_t>(n),
+                             samples_.end());
+  std::sort(sorted.begin(), sorted.end());
+  return rank(sorted, p);
+}
+
 LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   Snapshot s;

@@ -37,6 +37,12 @@ class LatencyHistogram {
   /// Nearest-rank percentile, p in [0, 100]. Zero when no samples.
   double percentile(double p) const;
 
+  /// Nearest-rank percentile over the most recent `window` samples (all
+  /// samples when fewer exist). The SLO feedback controller observes this:
+  /// a tail estimate that tracks the *current* traffic regime instead of
+  /// averaging over the server's whole lifetime. Zero when no samples.
+  double percentile_recent(double p, std::size_t window) const;
+
   Snapshot snapshot() const;
   std::size_t count() const;
   void reset();

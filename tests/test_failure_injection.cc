@@ -8,8 +8,13 @@
 #include "engine/executor.h"
 #include "graph/generators.h"
 #include "ir/autodiff.h"
+#include <cstring>
+#include <memory>
+
+#include "graph/knn.h"
 #include "models/models.h"
 #include "models/trainer.h"
+#include "serve/host.h"
 #include "tensor/ops.h"
 #include "support/rng.h"
 
@@ -138,6 +143,113 @@ TEST(FailureInjection, LabelsOutOfRangeThrow) {
   IntTensor labels(4, 1);
   labels.fill(7);
   EXPECT_THROW(ops::softmax_cross_entropy(logits, labels, nullptr), Error);
+}
+
+// --- serving-host failure isolation ------------------------------------------
+
+ModelGraph failinj_gcn() {
+  GcnConfig cfg;
+  cfg.in_dim = 6;
+  cfg.hidden = {8};
+  cfg.num_classes = 4;
+  Rng rng(1234);
+  return build_gcn(cfg, rng);
+}
+
+serve::InferenceRequest failinj_request(std::int64_t points, unsigned seed,
+                                        std::int64_t width = 6) {
+  Rng rng(seed);
+  const Tensor cloud = synthetic_point_cloud(points, 3, seed % 4, rng);
+  serve::InferenceRequest req;
+  req.graph = std::make_shared<const Graph>(points, knn_edges(cloud, 3));
+  req.features = Tensor(points, width, MemTag::kInput);
+  for (std::int64_t i = 0; i < req.features.numel(); ++i) {
+    req.features.data()[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return req;
+}
+
+TEST(FailureInjection, ReloadBuilderThrowLeavesServing) {
+  // A builder that faults mid-reload must leave the old weights serving,
+  // count nothing in reloads, and propagate its own error to the caller.
+  serve::ServingHost host({.workers = 0});
+  host.register_model("failinj/reload-throw", failinj_gcn);
+
+  auto before = host.submit("failinj/reload-throw", failinj_request(8, 1));
+  while (host.pump()) {
+  }
+  const Tensor expected = before.get().output;
+
+  EXPECT_THROW(host.reload("failinj/reload-throw",
+                           []() -> ModelGraph {
+                             throw Error("weights store unavailable");
+                           }),
+               Error);
+  EXPECT_EQ(host.stats("failinj/reload-throw").reloads, 0u);
+
+  // Still serving, still the old weights.
+  auto after = host.submit("failinj/reload-throw", failinj_request(8, 1));
+  while (host.pump()) {
+  }
+  const Tensor out = after.get().output;
+  ASSERT_EQ(out.rows(), expected.rows());
+  EXPECT_EQ(std::memcmp(out.data(), expected.data(),
+                        static_cast<std::size_t>(out.numel()) * sizeof(float)),
+            0);
+}
+
+TEST(FailureInjection, ReloadShapeMismatchRejected) {
+  // A reload whose parameters change shape (architecture drift) is refused
+  // atomically: the error surfaces, the old weights keep serving.
+  serve::ServingHost host({.workers = 0});
+  host.register_model("failinj/reload-shape", failinj_gcn);
+  EXPECT_THROW(host.reload("failinj/reload-shape",
+                           [] {
+                             GcnConfig cfg;
+                             cfg.in_dim = 6;
+                             cfg.hidden = {16};  // different hidden width
+                             cfg.num_classes = 4;
+                             Rng rng(1);
+                             return build_gcn(cfg, rng);
+                           }),
+               Error);
+  EXPECT_EQ(host.stats("failinj/reload-shape").reloads, 0u);
+  auto fut = host.submit("failinj/reload-shape", failinj_request(8, 2));
+  while (host.pump()) {
+  }
+  EXPECT_NO_THROW(fut.get());
+}
+
+TEST(FailureInjection, WorkerFaultFailsOnlyThatBatch) {
+  // One poisoned batch (wrong feature width) fails its own futures and
+  // increments ServerStats::failed — while the same model and the *other*
+  // model keep serving, and the host stays joinable.
+  serve::HostConfig cfg;
+  cfg.workers = 2;
+  serve::ServingHost host(cfg);
+  serve::ModelOptions mo;
+  mo.batch.max_batch = 1;  // the poisoned request rides alone
+  mo.batch.max_wait_us = 0;
+  host.register_model("failinj/faulty", failinj_gcn, mo);
+  host.register_model("failinj/healthy", failinj_gcn, mo);
+
+  auto bad = host.submit("failinj/faulty", failinj_request(8, 3, /*width=*/3));
+  EXPECT_THROW(bad.get(), Error);
+
+  // The faulted model still serves the next request...
+  auto good_same = host.submit("failinj/faulty", failinj_request(8, 4));
+  EXPECT_NO_THROW(good_same.get());
+  // ...and the other model never noticed.
+  auto good_other = host.submit("failinj/healthy", failinj_request(8, 5));
+  EXPECT_NO_THROW(good_other.get());
+
+  host.shutdown();  // joinable: no worker died with the batch
+  const serve::ServerStats faulty = host.stats("failinj/faulty");
+  EXPECT_EQ(faulty.failed, 1u);
+  EXPECT_EQ(faulty.completed, 1u);
+  const serve::ServerStats healthy = host.stats("failinj/healthy");
+  EXPECT_EQ(healthy.failed, 0u);
+  EXPECT_EQ(healthy.completed, 1u);
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include "ir/passes/reorg.h"
 #include "models/models.h"
 #include "models/trainer.h"
+#include "serve/slo.h"
 #include "support/rng.h"
 #include "tensor/ops.h"
 
@@ -273,6 +274,136 @@ TEST_P(StashMonotoneP, RecomputeNeverIncreasesStash) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Models, StashMonotoneP, ::testing::Values(0, 1, 2));
+
+// ---------------------------------------------------------------------------
+// Property: the SLO batch controller (serve/slo.h) is monotone, clamped, and
+// convergent. Pure controller unit — no threads, no clocks: observations are
+// fed synthetically and the effective knobs are read back.
+// ---------------------------------------------------------------------------
+
+serve::SloPolicy slo_policy(std::int64_t target_us) {
+  serve::SloPolicy p;
+  p.enabled = true;
+  p.target_p99_us = target_us;
+  p.min_wait_us = 10;
+  p.min_samples = 1;
+  return p;
+}
+
+serve::BatchPolicy slo_base(std::int64_t max_wait_us, int max_batch) {
+  serve::BatchPolicy b;
+  b.max_wait_us = max_wait_us;
+  b.max_batch = max_batch;
+  return b;
+}
+
+class SloMonotoneP : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(SloMonotoneP, HigherObservedTailNeverRaisesWait) {
+  // For a fixed controller state, wait(p99) is non-increasing in p99: sweep
+  // a grid of observations over fresh controllers and require ordering.
+  const std::int64_t target_us = GetParam();
+  const double target = static_cast<double>(target_us) * 1e-6;
+  std::int64_t prev_wait = -1;
+  double prev_obs = 0;
+  for (const double scale : {0.1, 0.5, 0.69, 0.9, 1.0, 1.5, 4.0, 100.0}) {
+    serve::SloBatchController c(slo_policy(target_us), slo_base(2000, 8));
+    c.observe_p99(scale * target);
+    const std::int64_t wait = c.effective_wait_us();
+    if (prev_wait >= 0) {
+      EXPECT_LE(wait, prev_wait)
+          << "observation " << scale * target << "s raised the wait that "
+          << prev_obs << "s produced";
+    }
+    prev_wait = wait;
+    prev_obs = scale * target;
+  }
+
+  // And along a trace that stays above target, the wait sequence itself is
+  // non-increasing (shrinks compose; there is no hidden rebound).
+  serve::SloBatchController c(slo_policy(target_us), slo_base(2000, 8));
+  std::int64_t last = c.effective_wait_us();
+  for (int i = 0; i < 64; ++i) {
+    c.observe_p99(target * (1.1 + 0.2 * (i % 5)));
+    EXPECT_LE(c.effective_wait_us(), last);
+    last = c.effective_wait_us();
+  }
+  EXPECT_GE(c.shrinks(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, SloMonotoneP,
+                         ::testing::Values(500, 2000, 100000));
+
+TEST(SloController, ClampsToConfiguredBounds) {
+  serve::SloBatchController c(slo_policy(1000), slo_base(800, 6));
+  const double target = 1000e-6;
+  // Gross violations forever: wait bottoms out at min_wait, then max-batch
+  // steps down to min_batch, and neither ever goes below.
+  for (int i = 0; i < 200; ++i) c.observe_p99(1000 * target);
+  EXPECT_EQ(c.effective_wait_us(), 10);
+  EXPECT_EQ(c.effective_max_batch(), 1);
+  for (int i = 0; i < 10; ++i) c.observe_p99(1000 * target);
+  EXPECT_EQ(c.effective_wait_us(), 10);
+  EXPECT_EQ(c.effective_max_batch(), 1);
+  // Deep headroom forever: max-batch recovers to the base first, the wait
+  // grows back, and neither ever exceeds the static knobs.
+  for (int i = 0; i < 200; ++i) c.observe_p99(0.01 * target);
+  EXPECT_EQ(c.effective_wait_us(), 800);
+  EXPECT_EQ(c.effective_max_batch(), 6);
+  for (int i = 0; i < 10; ++i) c.observe_p99(0.01 * target);
+  EXPECT_EQ(c.effective_wait_us(), 800);
+  EXPECT_EQ(c.effective_max_batch(), 6);
+  // Observations inside the stability band change nothing.
+  const std::uint64_t updates = c.updates();
+  c.observe_p99(0.8 * target);
+  EXPECT_EQ(c.effective_wait_us(), 800);
+  EXPECT_EQ(c.effective_max_batch(), 6);
+  EXPECT_EQ(c.updates(), updates + 1);
+  // Disabled controllers and empty observations are no-ops.
+  serve::SloPolicy off;
+  off.enabled = false;
+  serve::SloBatchController d(off, slo_base(800, 6));
+  d.observe_p99(1.0);
+  EXPECT_EQ(d.effective_wait_us(), 800);
+  EXPECT_EQ(d.updates(), 0u);
+  c.observe_p99(0.0);
+  EXPECT_EQ(c.updates(), updates + 1);
+}
+
+TEST(SloController, ConvergesOnSyntheticLatencyTrace) {
+  // Synthetic plant: p99(wait) = base + alpha * wait — tail latency is the
+  // service floor plus the batching wait. For targets above the floor the
+  // closed loop must settle with p99 at or under target while retaining as
+  // much wait as the stability band allows; for targets below the floor it
+  // must pin the knobs at their minimum (the best it can do).
+  struct Plant {
+    double base_s, alpha;
+  };
+  for (const Plant plant : {Plant{300e-6, 1.0}, Plant{300e-6, 3.0},
+                            Plant{1500e-6, 0.5}}) {
+    serve::SloBatchController c(slo_policy(2000), slo_base(5000, 8));
+    double p99 = 0;
+    for (int i = 0; i < 200; ++i) {
+      const double wait_s =
+          static_cast<double>(c.effective_wait_us()) * 1e-6;
+      p99 = plant.base_s + plant.alpha * wait_s;
+      c.observe_p99(p99);
+    }
+    EXPECT_LE(p99, 2000e-6 * 1.05)
+        << "alpha=" << plant.alpha << " base=" << plant.base_s;
+    EXPECT_GE(c.updates(), 200u);
+    EXPECT_GE(c.shrinks(), 1u);  // started at wait=5000us: must have engaged
+  }
+  // Target below the service floor: nothing can meet it; the controller
+  // pins wait at min and max-batch at min instead of oscillating.
+  serve::SloBatchController c(slo_policy(100), slo_base(5000, 8));
+  for (int i = 0; i < 300; ++i) {
+    const double wait_s = static_cast<double>(c.effective_wait_us()) * 1e-6;
+    c.observe_p99(300e-6 + wait_s);
+  }
+  EXPECT_EQ(c.effective_wait_us(), 10);
+  EXPECT_EQ(c.effective_max_batch(), 1);
+}
 
 }  // namespace
 }  // namespace triad

@@ -327,6 +327,8 @@ class JsonReport {
           "\"kernel_launches\": %llu, \"atomic_ops\": %llu, "
           "\"flops\": %llu, \"combine_bytes\": %llu, "
           "\"specialized_edges\": %llu, \"interpreted_edges\": %llu, "
+          "\"specialized_fwd_edges\": %llu, \"specialized_bwd_edges\": %llu, "
+          "\"interpreted_fwd_edges\": %llu, \"interpreted_bwd_edges\": %llu, "
           "\"interior_edges\": %llu, \"frontier_edges\": %llu, "
           "\"walk_ns\": %llu, \"combine_ns\": %llu, "
           "\"combine_overlap_ns\": %llu, "
@@ -341,8 +343,12 @@ class JsonReport {
           static_cast<unsigned long long>(r.m.counters.atomic_ops),
           static_cast<unsigned long long>(r.m.counters.flops),
           static_cast<unsigned long long>(r.m.counters.combine_bytes),
-          static_cast<unsigned long long>(r.m.counters.specialized_edges),
-          static_cast<unsigned long long>(r.m.counters.interpreted_edges),
+          static_cast<unsigned long long>(r.m.counters.specialized_edges()),
+          static_cast<unsigned long long>(r.m.counters.interpreted_edges()),
+          static_cast<unsigned long long>(r.m.counters.specialized_fwd_edges),
+          static_cast<unsigned long long>(r.m.counters.specialized_bwd_edges),
+          static_cast<unsigned long long>(r.m.counters.interpreted_fwd_edges),
+          static_cast<unsigned long long>(r.m.counters.interpreted_bwd_edges),
           static_cast<unsigned long long>(r.m.counters.interior_edges),
           static_cast<unsigned long long>(r.m.counters.frontier_edges),
           static_cast<unsigned long long>(r.m.counters.walk_ns),

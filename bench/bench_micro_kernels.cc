@@ -1,10 +1,12 @@
 // Micro-benchmarks: kernel-level costs behind the figures, now centred on the
 // specialized-core before/after gate. For each core shape the optimizer can
-// produce (gcn_wsum, gat_softmax, edgeconv_max, monet_gauss) the bench hand
-// builds the exact post-fusion EdgeProgram, runs it once through the VM
-// interpreter and once through the bound core (match_core must fire), checks
-// the outputs are bit-identical, and emits both rows — so the JSON carries the
-// interpreter baseline next to the specialized speedup per width. The legacy
+// produce — the forward set (gcn_wsum, gat_softmax, edgeconv_max,
+// monet_gauss), the training gradients (maxbwd_gather, gat_scorebwd,
+// gauss_bwd) and the edge-balanced fold (sum_eb) — the bench hand builds the
+// exact post-fusion EdgeProgram, runs it once through the VM interpreter and
+// once through the bound core (match_core must fire), checks the outputs are
+// bit-identical, and emits both rows — so the JSON carries the interpreter
+// baseline next to the specialized speedup per width. The legacy
 // thread-mapping and fusion micro comparisons (Figure 5's gather trade-off,
 // fused vs unfused scatter-apply-gather) ride along as extra rows.
 //
@@ -35,6 +37,8 @@ struct ProgramCase {
   std::string name;  ///< shape label, e.g. "gcn_wsum/w64"
   EdgeProgram ep;
   std::map<int, Tensor> inputs;
+  std::map<int, IntTensor> iaux;  ///< argmax aux inputs (MaxBwdMask)
+  bool backward = false;          ///< charge the bwd counter slots
 };
 
 struct Outputs {
@@ -50,6 +54,9 @@ Outputs make_outputs(const Graph& g, const EdgeProgram& ep) {
       o.aux.emplace(vo.node, IntTensor(g.num_vertices(), vo.width));
     }
   }
+  for (const EdgeOutput& eo : ep.edge_outputs) {
+    o.out.emplace(eo.node, Tensor(g.num_edges(), eo.width));
+  }
   return o;
 }
 
@@ -57,7 +64,10 @@ VmBindings make_bindings(const ProgramCase& pc, Outputs& o) {
   VmBindings b;
   b.tensor = [&pc](int id) -> const Tensor& { return pc.inputs.at(id); };
   b.out = [&o](int id) -> Tensor& { return o.out.at(id); };
-  b.aux = [&o](int id) -> const IntTensor& { return o.aux.at(id); };
+  b.aux = [&pc, &o](int id) -> const IntTensor& {
+    const auto it = pc.iaux.find(id);
+    return it != pc.iaux.end() ? it->second : o.aux.at(id);
+  };
   b.out_aux = [&o](int id) -> IntTensor& { return o.aux.at(id); };
   return b;
 }
@@ -86,14 +96,14 @@ bool outputs_identical(const Outputs& x, const Outputs& y) {
 bench::Measurement time_program(const Graph& g, const ProgramCase& pc,
                                 Outputs& o, const CoreBinding* core, int reps) {
   VmBindings b = make_bindings(pc, o);
-  run_edge_program(g, pc.ep, b, core);  // warmup
+  run_edge_program(g, pc.ep, b, core, pc.backward);  // warmup
   CounterScope sc;
-  run_edge_program(g, pc.ep, b, core);
+  run_edge_program(g, pc.ep, b, core, pc.backward);
   bench::Measurement m;
   m.counters = sc.delta();
   m.io_bytes = m.counters.io_bytes();
   Timer t;
-  for (int i = 0; i < reps; ++i) run_edge_program(g, pc.ep, b, core);
+  for (int i = 0; i < reps; ++i) run_edge_program(g, pc.ep, b, core, pc.backward);
   m.seconds = t.seconds() / reps;
   return m;
 }
@@ -223,6 +233,135 @@ ProgramCase build_monet_gauss(const Graph& g, std::int64_t k, std::int64_t f,
                         false, false, false}};
   ep.num_regs = 4;
   ep.reg_width = {w, r, k, w};
+  return pc;
+}
+
+// --- training-shape builders (the gradient programs + edge-balanced fold) ---
+
+/// Synthetic forward argmax: vertex v's slot j points at one of v's in-edges
+/// (cycled over its in-neighborhood), or -1 when v is isolated — the mask
+/// shape the EdgeConv/GAT forward hands its gradient program.
+IntTensor make_argmax_aux(const Graph& g, std::int64_t w) {
+  IntTensor aux(g.num_vertices(), w);
+  const auto& ptr = g.in_ptr();
+  const auto& eid = g.in_eid();
+  for (std::int64_t v = 0; v < g.num_vertices(); ++v) {
+    const std::int64_t d = ptr[v + 1] - ptr[v];
+    for (std::int64_t j = 0; j < w; ++j) {
+      aux.at(v, j) = d > 0 ? eid[ptr[v] + (j % d)] : -1;
+    }
+  }
+  return aux;
+}
+
+/// EdgeConv gradient gather: per-dst grad masked by the forward argmax; the
+/// dst-side fold is sequential, the src-side one a boundary combine.
+ProgramCase build_maxbwd_gather(const Graph& g, std::int64_t w, Rng& rng) {
+  ProgramCase pc;
+  pc.name = "maxbwd_gather";
+  pc.backward = true;
+  pc.inputs.emplace(0, Tensor::randn(g.num_vertices(), w, rng));  // dL/dy
+  pc.iaux.emplace(1, make_argmax_aux(g, w));
+  EdgeProgram& ep = pc.ep;
+  ep.phases.resize(1);
+  ep.phases[0].instrs = {
+      {EPOp::LoadV, 0, -1, -1, 0, -1, -1, 0.f, 1, w},
+      {EPOp::MaxBwdMask, 1, 0, -1, 1, -1, -1, 0.f, 1, w},
+      {EPOp::Reduce, -1, 1, -1, -1, -1, 0, 0.f, 1, w},
+      {EPOp::Reduce, -1, 1, -1, -1, -1, 1, 0.f, 1, w},
+  };
+  ep.vertex_outputs = {
+      {2, static_cast<std::uint8_t>(ReduceFn::Sum), w, 0, false, false, false},
+      {3, static_cast<std::uint8_t>(ReduceFn::Sum), w, 0, true, true, false}};
+  ep.num_regs = 2;
+  ep.reg_width = {w, w};
+  return pc;
+}
+
+/// GAT score gradient: (dL/de - masked softmax sum) gated by the leaky-relu
+/// derivative of the raw score; dual Sum reduce (dst sequential, src boundary).
+ProgramCase build_gat_scorebwd(const Graph& g, std::int64_t h, Rng& rng) {
+  const float alpha = 0.2f;
+  ProgramCase pc;
+  pc.name = "gat_scorebwd";
+  pc.backward = true;
+  pc.inputs.emplace(0, Tensor::randn(g.num_edges(), h, rng));     // dL/de
+  pc.inputs.emplace(1, Tensor::randn(g.num_vertices(), h, rng));  // grad sums
+  pc.iaux.emplace(2, make_argmax_aux(g, h));
+  pc.inputs.emplace(3, Tensor::randn(g.num_edges(), h, rng));  // raw scores
+  EdgeProgram& ep = pc.ep;
+  ep.phases.resize(1);
+  ep.phases[0].instrs = {
+      {EPOp::LoadE, 0, -1, -1, 0, -1, -1, 0.f, 1, h},
+      {EPOp::LoadV, 1, -1, -1, 1, -1, -1, 0.f, 1, h},
+      {EPOp::MaxBwdMask, 2, 1, -1, 2, -1, -1, 0.f, 1, h},
+      {EPOp::Sub, 3, 0, 2, -1, -1, -1, 0.f, 1, h},
+      {EPOp::LoadE, 4, -1, -1, 3, -1, -1, 0.f, 1, h},
+      {EPOp::LeakyReLUGrad, 5, 3, 4, -1, -1, -1, alpha, 1, h},
+      {EPOp::Reduce, -1, 5, -1, -1, -1, 0, 0.f, 1, h},
+      {EPOp::Reduce, -1, 5, -1, -1, -1, 1, 0.f, 1, h},
+  };
+  ep.vertex_outputs = {
+      {6, static_cast<std::uint8_t>(ReduceFn::Sum), h, 0, true, true, false},
+      {7, static_cast<std::uint8_t>(ReduceFn::Sum), h, 0, false, false, false}};
+  ep.num_regs = 6;
+  ep.reg_width = {h, h, h, h, h, h};
+  return pc;
+}
+
+/// MoNet gradient (src-major): gaussian weights and per-kernel feature dots
+/// stashed to edge outputs, plus the sequential weighted feature gather.
+ProgramCase build_gauss_bwd(const Graph& g, std::int64_t k, std::int64_t f,
+                            Rng& rng) {
+  const std::int64_t w = k * f;
+  const std::int64_t r = 2;
+  ProgramCase pc;
+  pc.name = "gauss_bwd";
+  pc.backward = true;
+  pc.inputs.emplace(0, Tensor::randn(g.num_edges(), r, rng));     // pseudo
+  pc.inputs.emplace(1, Tensor::randn(k, r, rng));                 // mu
+  pc.inputs.emplace(2, Tensor::randn(k, r, rng));                 // sigma
+  pc.inputs.emplace(4, Tensor::randn(g.num_vertices(), w, rng));  // dL/dy
+  pc.inputs.emplace(5, Tensor::randn(g.num_vertices(), w, rng));  // feat
+  EdgeProgram& ep = pc.ep;
+  ep.dst_major = false;
+  ep.phases.resize(1);
+  ep.phases[0].instrs = {
+      {EPOp::LoadE, 0, -1, -1, 0, -1, -1, 0.f, 1, r},
+      {EPOp::Gauss, 1, 0, -1, 1, 2, -1, 0.f, 1, k},
+      {EPOp::StoreE, -1, 1, -1, 3, -1, -1, 0.f, 1, k},
+      {EPOp::LoadV, 2, -1, -1, 4, -1, -1, 0.f, 1, w},
+      {EPOp::LoadU, 3, -1, -1, 5, -1, -1, 0.f, 1, w},
+      {EPOp::DotHead, 4, 2, 3, -1, -1, -1, 0.f, k, k},
+      {EPOp::StoreE, -1, 4, -1, 6, -1, -1, 0.f, 1, k},
+      {EPOp::MulHead, 5, 2, 1, -1, -1, -1, 0.f, k, w},
+      {EPOp::Reduce, -1, 5, -1, -1, -1, 0, 0.f, 1, w},
+  };
+  ep.vertex_outputs = {
+      {7, static_cast<std::uint8_t>(ReduceFn::Sum), w, 0, true, false, false}};
+  ep.edge_outputs = {{3, k}, {6, k}};
+  ep.num_regs = 6;
+  ep.reg_width = {r, k, w, w, k, w};
+  return pc;
+}
+
+/// Edge-balanced Sum fold: the gcn gather under WorkMapping::EdgeBalanced,
+/// where the interpreter's walk is fully elided and the combine IS the kernel.
+ProgramCase build_sum_eb(const Graph& g, std::int64_t w, Rng& rng) {
+  ProgramCase pc;
+  pc.name = "sum_eb";
+  pc.inputs.emplace(0, Tensor::randn(g.num_vertices(), w, rng));
+  EdgeProgram& ep = pc.ep;
+  ep.mapping = WorkMapping::EdgeBalanced;
+  ep.phases.resize(1);
+  ep.phases[0].instrs = {
+      {EPOp::LoadU, 0, -1, -1, 0, -1, -1, 0.f, 1, w},
+      {EPOp::Reduce, -1, 0, -1, -1, -1, 0, 0.f, 1, w},
+  };
+  ep.vertex_outputs = {{1, static_cast<std::uint8_t>(ReduceFn::Sum), w, 0,
+                        false, true, false}};
+  ep.num_regs = 1;
+  ep.reg_width = {w};
   return pc;
 }
 
@@ -361,6 +500,27 @@ int run(int argc, char** argv) {
   for (const std::int64_t f : {std::int64_t{16}, std::int64_t{64}}) {
     run_case(report, g, build_monet_gauss(g, 4, f, rng), f, opt, reps);
   }
+
+  // Training shapes: the gradient programs the optimizer emits under
+  // training=true, plus the edge-balanced fold. Backward rows charge the
+  // specialized_bwd/interpreted_bwd counter slots.
+  for (const std::int64_t w : {std::int64_t{16}, std::int64_t{64}}) {
+    run_case(report, g, build_maxbwd_gather(g, w, rng), w, opt, reps);
+  }
+  run_case(report, g, build_maxbwd_gather(g, 48, rng), 48, opt, reps);  // dyn
+  // Realistic head counts only: the matcher refuses h > 8, where replaying
+  // the chain in the combine would cost more than the stash it elides.
+  for (const std::int64_t h :
+       {std::int64_t{2}, std::int64_t{4}, std::int64_t{8}}) {
+    run_case(report, g, build_gat_scorebwd(g, h, rng), h, opt, reps);
+  }
+  for (const std::int64_t f : {std::int64_t{16}, std::int64_t{64}}) {
+    run_case(report, g, build_gauss_bwd(g, 2, f, rng), f, opt, reps);
+  }
+  for (const std::int64_t w : {std::int64_t{16}, std::int64_t{64}}) {
+    run_case(report, g, build_sum_eb(g, w, rng), w, opt, reps);
+  }
+  run_case(report, g, build_sum_eb(g, 48, rng), 48, opt, reps);  // dyn
 
   run_gather_mapping(report, g, 16, reps);
   run_gather_mapping(report, g, 64, reps);

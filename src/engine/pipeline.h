@@ -58,6 +58,35 @@ class PipelineSchedule {
   std::vector<std::vector<std::int32_t>> dependents_;
 };
 
+/// Per-shard walk or combine body for run_pipelined: visits the explicit
+/// owned-vertex list `list[0..count)` (a shard's frontier or interior set).
+using PipelineSpanFn =
+    std::function<void(int s, const std::int32_t* list, std::int64_t count)>;
+
+/// Timing the pipelined fan-out records, in seconds: per-shard walk and
+/// combine durations, plus the total combine time that ran while at least one
+/// shard was still walking — the part a barrier would have serialized.
+struct PipelineTiming {
+  std::vector<double> walk_s;
+  std::vector<double> comb_s;
+  double overlap_s = 0.0;
+};
+
+/// Generic frontier-first pipelined fan-out: one pool task per shard runs
+/// `walk` over the shard's frontier list, publishes, runs `walk` over its
+/// interior list, publishes again, then runs `combine` over its interior
+/// targets inline (their contributors are all local). Each owner shard's
+/// frontier `combine` fires through PipelineRun the instant its dependency
+/// set clears, on whichever thread completed it. Both the interpreter and the
+/// specialized-core sharded runners (engine/vm.cc) execute through this
+/// skeleton, so specialized backward cores compose with pipelined execution
+/// by construction. `has_combine` = false skips every combine call (the
+/// frontier-first walk order is still used; output is order-invariant).
+PipelineTiming run_pipelined(const Partitioning& part,
+                             const PipelineSchedule& sched,
+                             const PipelineSpanFn& walk,
+                             const PipelineSpanFn& combine, bool has_combine);
+
 /// Per-execution ready-flag state: one atomic pending counter per owner
 /// shard, decremented by publishes. The publish that brings a counter to zero
 /// runs that shard's combine inline on its own thread, so every combine

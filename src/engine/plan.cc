@@ -559,11 +559,12 @@ void PlanRunner::exec_fused(const Node& n) {
   b.out_aux = [this](int id) -> IntTensor& { return aux_[id]; };
   b.pool = pool_;
   const CoreBinding* core = &plan_->core(n.program);
+  const bool backward = n.id >= plan_->forward_end();
   if (partition_ != nullptr) {
     run_edge_program_sharded(graph_, *partition_, ep, b, core,
-                             pipeline_sched_.get());
+                             pipeline_sched_.get(), backward);
   } else {
-    run_edge_program(graph_, ep, b, core);
+    run_edge_program(graph_, ep, b, core, backward);
   }
 }
 

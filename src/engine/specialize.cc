@@ -4,9 +4,13 @@
 #include "ir/graph.h"
 
 #include "engine/cores/edgeconv_max.h"
+#include "engine/cores/gat_scorebwd.h"
 #include "engine/cores/gat_softmax.h"
+#include "engine/cores/gauss_bwd.h"
 #include "engine/cores/gcn_wsum.h"
+#include "engine/cores/maxbwd_gather.h"
 #include "engine/cores/monet_gauss.h"
+#include "engine/cores/sum_eb.h"
 #include "support/macros.h"
 
 namespace triad {
@@ -14,7 +18,8 @@ namespace triad {
 namespace {
 
 /// Mirrors vm.cc: a reduction is worker-sequential when its direction matches
-/// the kernel orientation. Cores only ever handle sequential reductions.
+/// the kernel orientation. Boundary (cross-orientation) reductions are
+/// finalized by the combine core instead.
 bool seq_reduce(const EdgeProgram& ep, const VertexOutput& vo) {
   return ep.mapping == WorkMapping::VertexBalanced && vo.reverse != ep.dst_major;
 }
@@ -32,10 +37,10 @@ EPOp other_load(const EdgeProgram& ep) {
   return ep.dst_major ? EPOp::LoadU : EPOp::LoadV;
 }
 
-/// Common preconditions every core shares: vertex-balanced walk, no edge
-/// outputs (StoreE would need per-edge materialization), every reduction
-/// sequential.
-bool core_eligible(const EdgeProgram& ep) {
+/// Preconditions the forward (walk-only) cores share: vertex-balanced walk,
+/// no edge outputs, every reduction sequential. The backward and
+/// edge-balanced matchers check their own layouts instead.
+bool forward_core_eligible(const EdgeProgram& ep) {
   return ep.mapping == WorkMapping::VertexBalanced && ep.edge_outputs.empty() &&
          !ep.vertex_outputs.empty() && all_sequential(ep);
 }
@@ -47,6 +52,10 @@ int pick_template_width(std::int64_t hot) {
     case 64: return 64;
     default: return 0;  // runtime-width fallback core
   }
+}
+
+bool is_sum(const VertexOutput& vo) {
+  return static_cast<ReduceFn>(vo.rfn) == ReduceFn::Sum && !vo.track_argmax;
 }
 
 // ---------------------------------------------------------------------------
@@ -258,34 +267,228 @@ CoreBinding match_monet_gauss(const EdgeProgram& ep) {
   return cb;
 }
 
+/// Classifies a dual-reduce backward layout: exactly two Sum vertex outputs
+/// in phase 0, one sequential (the walk core's) and one boundary (the
+/// combine core's). Fills seq/boundary indices; false on any other layout.
+bool classify_dual_reduce(const EdgeProgram& ep, int* seq, int* boundary) {
+  if (ep.vertex_outputs.size() != 2) return false;
+  *seq = -1;
+  *boundary = -1;
+  for (int i = 0; i < 2; ++i) {
+    const VertexOutput& vo = ep.vertex_outputs[i];
+    if (!is_sum(vo) || vo.phase != 0) return false;
+    if (seq_reduce(ep, vo)) {
+      if (*seq >= 0) return false;
+      *seq = i;
+    } else {
+      if (*boundary >= 0) return false;
+      *boundary = i;
+    }
+  }
+  return *seq >= 0 && *boundary >= 0;
+}
+
+/// EdgeConv backward: argmax-replay gather with a center-side and a
+/// neighbor-side Sum (see engine/cores/maxbwd_gather.h).
+CoreBinding match_maxbwd_gather(const EdgeProgram& ep) {
+  CoreBinding cb;
+  if (!ep.dst_major || !ep.edge_outputs.empty()) return cb;
+  if (ep.phases.size() != 1) return cb;
+  const auto& is = ep.phases[0].instrs;
+  if (is.size() != 4) return cb;
+  const EPInstr& lv = is[0];  // load_v g
+  const EPInstr& mk = is[1];  // max_bwd_mask
+  const EPInstr& r1 = is[2];
+  const EPInstr& r2 = is[3];
+  if (lv.op != EPOp::LoadV || lv.dst < 0) return cb;
+  if (mk.op != EPOp::MaxBwdMask || mk.a != lv.dst || mk.tensor < 0) return cb;
+  if (r1.op != EPOp::Reduce || r1.a != mk.dst) return cb;
+  if (r2.op != EPOp::Reduce || r2.a != mk.dst || r2.acc == r1.acc) return cb;
+  int seq = -1, boundary = -1;
+  if (!classify_dual_reduce(ep, &seq, &boundary)) return cb;
+  const std::int64_t w = ep.vertex_outputs[0].width;
+  if (ep.vertex_outputs[1].width != w) return cb;
+  if (lv.width != w || mk.width != w || r1.width != w || r2.width != w)
+    return cb;
+  cb.kind = CoreKind::MaxBwdGather;
+  cb.t_feat = lv.tensor;  // upstream gradient rows
+  cb.t_aux = mk.tensor;   // argmax aux of the forward Max
+  cb.seq_out = seq;
+  cb.boundary_out = boundary;
+  cb.hot_width = w;
+  cb.template_width = pick_template_width(cb.hot_width);
+  return cb;
+}
+
+/// GAT backward (score-gradient program): mask/sub/leaky_relu_grad chain
+/// with a dst-side and a src-side Sum (see engine/cores/gat_scorebwd.h).
+CoreBinding match_gat_scorebwd(const EdgeProgram& ep) {
+  CoreBinding cb;
+  if (!ep.dst_major || !ep.edge_outputs.empty()) return cb;
+  if (ep.phases.size() != 1) return cb;
+  const auto& is = ep.phases[0].instrs;
+  if (is.size() != 8) return cb;
+  const EPInstr& le = is[0];   // load_e eg
+  const EPInstr& lv = is[1];   // load_v gs
+  const EPInstr& mk = is[2];   // max_bwd_mask gs
+  const EPInstr& sub = is[3];  // eg - mask
+  const EPInstr& ls = is[4];   // load_e sc
+  const EPInstr& lrg = is[5];  // leaky_relu_grad
+  const EPInstr& r1 = is[6];
+  const EPInstr& r2 = is[7];
+  if (le.op != EPOp::LoadE || lv.op != EPOp::LoadV) return cb;
+  if (mk.op != EPOp::MaxBwdMask || mk.a != lv.dst || mk.tensor < 0) return cb;
+  if (sub.op != EPOp::Sub || sub.a != le.dst || sub.b != mk.dst) return cb;
+  if (ls.op != EPOp::LoadE) return cb;
+  if (lrg.op != EPOp::LeakyReLUGrad || lrg.a != sub.dst || lrg.b != ls.dst)
+    return cb;
+  if (r1.op != EPOp::Reduce || r1.a != lrg.dst) return cb;
+  if (r2.op != EPOp::Reduce || r2.a != lrg.dst || r2.acc == r1.acc) return cb;
+  int seq = -1, boundary = -1;
+  if (!classify_dual_reduce(ep, &seq, &boundary)) return cb;
+  const std::int64_t h = ep.vertex_outputs[0].width;
+  if (ep.vertex_outputs[1].width != h) return cb;
+  if (le.width != h || lv.width != h || mk.width != h || sub.width != h ||
+      ls.width != h || lrg.width != h || r1.width != h || r2.width != h)
+    return cb;
+  // The combine replays the chain from the input tensors instead of reading a
+  // stash, which re-reads two edge rows per boundary edge. That trade only
+  // wins while the head row is narrow enough that per-edge overhead, not
+  // traffic, dominates; the measured crossover on bench_micro_kernels is
+  // h = 8, so wider score programs stay interpreted (and keep the stash).
+  if (h > 8) return cb;
+  cb.kind = CoreKind::GatScoreBwd;
+  cb.t_feat = le.tensor;  // per-edge upstream gradient
+  cb.t_a = lv.tensor;     // per-vertex gradient sum
+  cb.t_b = ls.tensor;     // raw score
+  cb.t_aux = mk.tensor;
+  cb.alpha = lrg.alpha;
+  cb.seq_out = seq;
+  cb.boundary_out = boundary;
+  cb.hot_width = h;
+  cb.template_width = pick_template_width(cb.hot_width);
+  return cb;
+}
+
+/// MoNet backward: the store_e stash shape — gaussian weights and per-kernel
+/// dots stashed to edge outputs plus a sequential weighted gather (see
+/// engine/cores/gauss_bwd.h).
+CoreBinding match_gauss_bwd(const EdgeProgram& ep) {
+  CoreBinding cb;
+  if (ep.dst_major) return cb;  // fusion emits this shape src-major
+  if (ep.phases.size() != 1 || ep.vertex_outputs.size() != 1 ||
+      ep.edge_outputs.size() != 2)
+    return cb;
+  const VertexOutput& vo = ep.vertex_outputs[0];
+  if (!is_sum(vo) || vo.phase != 0 || !seq_reduce(ep, vo)) return cb;
+  const auto& is = ep.phases[0].instrs;
+  if (is.size() != 9) return cb;
+  const EPInstr& le = is[0];   // load_e pseudo
+  const EPInstr& ga = is[1];   // gauss
+  const EPInstr& s0 = is[2];   // store_e weights
+  const EPInstr& lv = is[3];   // load_v grad
+  const EPInstr& lu = is[4];   // load_u feat (center)
+  const EPInstr& dh = is[5];   // dot_head(grad, feat)
+  const EPInstr& s1 = is[6];   // store_e dots
+  const EPInstr& mh = is[7];   // mul_head(grad, weights)
+  const EPInstr& rd = is[8];
+  if (le.op != EPOp::LoadE) return cb;
+  if (ga.op != EPOp::Gauss || ga.a != le.dst || ga.tensor < 0 || ga.tensor2 < 0)
+    return cb;
+  if (s0.op != EPOp::StoreE || s0.a != ga.dst) return cb;
+  if (lv.op != EPOp::LoadV || lu.op != EPOp::LoadU) return cb;
+  if (dh.op != EPOp::DotHead || dh.a != lv.dst || dh.b != lu.dst) return cb;
+  if (s1.op != EPOp::StoreE || s1.a != dh.dst) return cb;
+  if (mh.op != EPOp::MulHead || mh.a != lv.dst || mh.b != ga.dst) return cb;
+  if (rd.op != EPOp::Reduce || rd.a != mh.dst || rd.acc != 0) return cb;
+  const std::int64_t k = ga.width;  // mixture size
+  const std::int64_t w = vo.width;
+  if (k <= 0 || w % k != 0) return cb;
+  if (dh.heads != k || mh.heads != k) return cb;
+  if (lv.width != w || lu.width != w || mh.width != w || rd.width != w)
+    return cb;
+  if (dh.width != k || s0.width != k || s1.width != k) return cb;
+  // The stores must target the program's two declared edge outputs.
+  const int e0 = ep.edge_outputs[0].node;
+  const int e1 = ep.edge_outputs[1].node;
+  if (!((s0.tensor == e0 && s1.tensor == e1) ||
+        (s0.tensor == e1 && s1.tensor == e0)))
+    return cb;
+  cb.kind = CoreKind::GaussBwd;
+  cb.t_feat = lu.tensor;  // center features
+  cb.t_g = lv.tensor;     // upstream gradient
+  cb.t_a = le.tensor;     // pseudo-coordinates
+  cb.t_b = ga.tensor;     // mu
+  cb.t_c = ga.tensor2;    // sigma
+  cb.t_e0 = s0.tensor;
+  cb.t_e1 = s1.tensor;
+  cb.heads = k;
+  cb.seq_out = 0;
+  cb.hot_width = w / k;
+  cb.template_width = pick_template_width(cb.hot_width);
+  return cb;
+}
+
+/// Edge-balanced Sum gather of the non-target endpoint. The interpreter
+/// realizes the shape as its deterministic combine alone (the walk is fully
+/// elided); the core is that combine as a flat loop, so matching it changes
+/// nothing about the fold order.
+CoreBinding match_sum_eb(const EdgeProgram& ep) {
+  CoreBinding cb;
+  if (ep.phases.size() != 1 || ep.vertex_outputs.size() != 1 ||
+      !ep.edge_outputs.empty())
+    return cb;
+  const VertexOutput& vo = ep.vertex_outputs[0];
+  if (!is_sum(vo) || vo.phase != 0) return cb;
+  const auto& is = ep.phases[0].instrs;
+  if (is.size() != 2) return cb;
+  const EPInstr& ld = is[0];
+  const EPInstr& rd = is[1];
+  // The load must read the endpoint opposite the reduction target: targets
+  // are src vertices when reverse (fold over out-adjacency, contributions
+  // from dst rows) and dst vertices otherwise.
+  if (ld.op != (vo.reverse ? EPOp::LoadV : EPOp::LoadU) || ld.dst < 0)
+    return cb;
+  if (rd.op != EPOp::Reduce || rd.a != ld.dst || rd.acc != 0) return cb;
+  if (ld.width != vo.width || rd.width != vo.width) return cb;
+  cb.kind = CoreKind::SumEb;
+  cb.t_feat = ld.tensor;
+  cb.seq_out = 0;  // complete after the span — no separate combine
+  cb.hot_width = vo.width;
+  cb.template_width = pick_template_width(cb.hot_width);
+  return cb;
+}
+
 // ---------------------------------------------------------------------------
 // Dispatch: one switch per core over the supported template widths.
 // ---------------------------------------------------------------------------
 
 void run_gcn_wsum(const Graph& g, const EdgeProgram& ep, const CoreBinding& cb,
-                  const CoreArgs& a, std::int64_t v_lo, std::int64_t v_hi) {
+                  const CoreArgs& a, const std::int32_t* list,
+                  std::int64_t count, std::int64_t v_lo, std::int64_t v_hi) {
   const auto& ptr = ep.dst_major ? g.in_ptr() : g.out_ptr();
   const auto& adj = ep.dst_major ? g.in_src() : g.out_dst();
   switch (cb.template_width) {
     case 16:
       cores::gcn_wsum<16>(ptr.data(), adj.data(), a.feat, a.feat_cols, a.out0,
-                          cb.hot_width, v_lo, v_hi);
+                          cb.hot_width, list, count, v_lo, v_hi);
       break;
     case 32:
       cores::gcn_wsum<32>(ptr.data(), adj.data(), a.feat, a.feat_cols, a.out0,
-                          cb.hot_width, v_lo, v_hi);
+                          cb.hot_width, list, count, v_lo, v_hi);
       break;
     case 64:
       cores::gcn_wsum<64>(ptr.data(), adj.data(), a.feat, a.feat_cols, a.out0,
-                          cb.hot_width, v_lo, v_hi);
+                          cb.hot_width, list, count, v_lo, v_hi);
       break;
     default:
       cores::gcn_wsum<0>(ptr.data(), adj.data(), a.feat, a.feat_cols, a.out0,
-                         cb.hot_width, v_lo, v_hi);
+                         cb.hot_width, list, count, v_lo, v_hi);
   }
 }
 
 void run_edgeconv_max(const Graph& g, const CoreBinding& cb, const CoreArgs& a,
+                      const std::int32_t* list, std::int64_t count,
                       std::int64_t v_lo, std::int64_t v_hi) {
   const auto& ptr = g.in_ptr();  // matcher requires dst-major
   const auto& adj = g.in_src();
@@ -294,26 +497,27 @@ void run_edgeconv_max(const Graph& g, const CoreBinding& cb, const CoreArgs& a,
     case 16:
       cores::edgeconv_max<16>(ptr.data(), adj.data(), eid.data(), a.feat,
                               a.feat_cols, a.b, a.b_cols, a.out0, a.aux0,
-                              cb.hot_width, v_lo, v_hi);
+                              cb.hot_width, list, count, v_lo, v_hi);
       break;
     case 32:
       cores::edgeconv_max<32>(ptr.data(), adj.data(), eid.data(), a.feat,
                               a.feat_cols, a.b, a.b_cols, a.out0, a.aux0,
-                              cb.hot_width, v_lo, v_hi);
+                              cb.hot_width, list, count, v_lo, v_hi);
       break;
     case 64:
       cores::edgeconv_max<64>(ptr.data(), adj.data(), eid.data(), a.feat,
                               a.feat_cols, a.b, a.b_cols, a.out0, a.aux0,
-                              cb.hot_width, v_lo, v_hi);
+                              cb.hot_width, list, count, v_lo, v_hi);
       break;
     default:
       cores::edgeconv_max<0>(ptr.data(), adj.data(), eid.data(), a.feat,
                              a.feat_cols, a.b, a.b_cols, a.out0, a.aux0,
-                             cb.hot_width, v_lo, v_hi);
+                             cb.hot_width, list, count, v_lo, v_hi);
   }
 }
 
 void run_gat_softmax(const Graph& g, const CoreBinding& cb, const CoreArgs& a,
+                     const std::int32_t* list, std::int64_t count,
                      std::int64_t v_lo, std::int64_t v_hi) {
   const auto& ptr = g.in_ptr();  // matcher requires dst-major
   const auto& adj = g.in_src();
@@ -323,30 +527,31 @@ void run_gat_softmax(const Graph& g, const CoreBinding& cb, const CoreArgs& a,
       cores::gat_softmax<16>(ptr.data(), adj.data(), eid.data(), a.feat,
                              a.feat_cols, a.a, a.a_cols, a.b, a.b_cols,
                              cb.alpha, cb.heads, cb.hot_width, a.out0, a.aux0,
-                             a.out1, a.out2, v_lo, v_hi);
+                             a.out1, a.out2, list, count, v_lo, v_hi);
       break;
     case 32:
       cores::gat_softmax<32>(ptr.data(), adj.data(), eid.data(), a.feat,
                              a.feat_cols, a.a, a.a_cols, a.b, a.b_cols,
                              cb.alpha, cb.heads, cb.hot_width, a.out0, a.aux0,
-                             a.out1, a.out2, v_lo, v_hi);
+                             a.out1, a.out2, list, count, v_lo, v_hi);
       break;
     case 64:
       cores::gat_softmax<64>(ptr.data(), adj.data(), eid.data(), a.feat,
                              a.feat_cols, a.a, a.a_cols, a.b, a.b_cols,
                              cb.alpha, cb.heads, cb.hot_width, a.out0, a.aux0,
-                             a.out1, a.out2, v_lo, v_hi);
+                             a.out1, a.out2, list, count, v_lo, v_hi);
       break;
     default:
       cores::gat_softmax<0>(ptr.data(), adj.data(), eid.data(), a.feat,
                             a.feat_cols, a.a, a.a_cols, a.b, a.b_cols, cb.alpha,
                             cb.heads, cb.hot_width, a.out0, a.aux0, a.out1,
-                            a.out2, v_lo, v_hi);
+                            a.out2, list, count, v_lo, v_hi);
   }
 }
 
 void run_monet_gauss(const Graph& g, const EdgeProgram& ep,
                      const CoreBinding& cb, const CoreArgs& a,
+                     const std::int32_t* list, std::int64_t count,
                      std::int64_t v_lo, std::int64_t v_hi) {
   const auto& ptr = ep.dst_major ? g.in_ptr() : g.out_ptr();
   const auto& adj = ep.dst_major ? g.in_src() : g.out_dst();
@@ -355,22 +560,221 @@ void run_monet_gauss(const Graph& g, const EdgeProgram& ep,
     case 16:
       cores::monet_gauss<16>(ptr.data(), adj.data(), eid.data(), a.feat,
                              a.feat_cols, a.a, a.a_cols, a.b, a.c, a.b_cols,
-                             cb.heads, cb.hot_width, a.out0, v_lo, v_hi);
+                             cb.heads, cb.hot_width, a.out0, list, count, v_lo,
+                             v_hi);
       break;
     case 32:
       cores::monet_gauss<32>(ptr.data(), adj.data(), eid.data(), a.feat,
                              a.feat_cols, a.a, a.a_cols, a.b, a.c, a.b_cols,
-                             cb.heads, cb.hot_width, a.out0, v_lo, v_hi);
+                             cb.heads, cb.hot_width, a.out0, list, count, v_lo,
+                             v_hi);
       break;
     case 64:
       cores::monet_gauss<64>(ptr.data(), adj.data(), eid.data(), a.feat,
                              a.feat_cols, a.a, a.a_cols, a.b, a.c, a.b_cols,
-                             cb.heads, cb.hot_width, a.out0, v_lo, v_hi);
+                             cb.heads, cb.hot_width, a.out0, list, count, v_lo,
+                             v_hi);
       break;
     default:
       cores::monet_gauss<0>(ptr.data(), adj.data(), eid.data(), a.feat,
                             a.feat_cols, a.a, a.a_cols, a.b, a.c, a.b_cols,
-                            cb.heads, cb.hot_width, a.out0, v_lo, v_hi);
+                            cb.heads, cb.hot_width, a.out0, list, count, v_lo,
+                            v_hi);
+  }
+}
+
+void run_maxbwd_gather(const Graph& g, const CoreBinding& cb, const CoreArgs& a,
+                       const std::int32_t* list, std::int64_t count,
+                       std::int64_t v_lo, std::int64_t v_hi) {
+  const auto& ptr = g.in_ptr();  // matcher requires dst-major
+  const auto& eid = g.in_eid();
+  switch (cb.template_width) {
+    case 16:
+      cores::maxbwd_gather<16>(ptr.data(), eid.data(), a.feat, a.feat_cols,
+                               a.mask, a.mask_cols, a.out0, cb.hot_width, list,
+                               count, v_lo, v_hi);
+      break;
+    case 32:
+      cores::maxbwd_gather<32>(ptr.data(), eid.data(), a.feat, a.feat_cols,
+                               a.mask, a.mask_cols, a.out0, cb.hot_width, list,
+                               count, v_lo, v_hi);
+      break;
+    case 64:
+      cores::maxbwd_gather<64>(ptr.data(), eid.data(), a.feat, a.feat_cols,
+                               a.mask, a.mask_cols, a.out0, cb.hot_width, list,
+                               count, v_lo, v_hi);
+      break;
+    default:
+      cores::maxbwd_gather<0>(ptr.data(), eid.data(), a.feat, a.feat_cols,
+                              a.mask, a.mask_cols, a.out0, cb.hot_width, list,
+                              count, v_lo, v_hi);
+  }
+}
+
+void run_maxbwd_gather_combine(const Graph& g, const EdgeProgram& ep,
+                               const CoreBinding& cb, const CoreArgs& a,
+                               const std::int32_t* list, std::int64_t count,
+                               std::int64_t t_lo, std::int64_t t_hi) {
+  const VertexOutput& vo = ep.vertex_outputs[cb.boundary_out];
+  const auto& ptr = vo.reverse ? g.out_ptr() : g.in_ptr();
+  const auto& adj = vo.reverse ? g.out_dst() : g.in_src();
+  const auto& eid = vo.reverse ? g.out_eid() : g.in_eid();
+  switch (cb.template_width) {
+    case 16:
+      cores::maxbwd_gather_combine<16>(ptr.data(), adj.data(), eid.data(),
+                                       a.feat, a.feat_cols, a.mask, a.mask_cols,
+                                       a.outb, cb.hot_width, list, count, t_lo,
+                                       t_hi);
+      break;
+    case 32:
+      cores::maxbwd_gather_combine<32>(ptr.data(), adj.data(), eid.data(),
+                                       a.feat, a.feat_cols, a.mask, a.mask_cols,
+                                       a.outb, cb.hot_width, list, count, t_lo,
+                                       t_hi);
+      break;
+    case 64:
+      cores::maxbwd_gather_combine<64>(ptr.data(), adj.data(), eid.data(),
+                                       a.feat, a.feat_cols, a.mask, a.mask_cols,
+                                       a.outb, cb.hot_width, list, count, t_lo,
+                                       t_hi);
+      break;
+    default:
+      cores::maxbwd_gather_combine<0>(ptr.data(), adj.data(), eid.data(),
+                                      a.feat, a.feat_cols, a.mask, a.mask_cols,
+                                      a.outb, cb.hot_width, list, count, t_lo,
+                                      t_hi);
+  }
+}
+
+void run_gat_scorebwd(const Graph& g, const CoreBinding& cb, const CoreArgs& a,
+                      const std::int32_t* list, std::int64_t count,
+                      std::int64_t v_lo, std::int64_t v_hi) {
+  const auto& ptr = g.in_ptr();  // matcher requires dst-major
+  const auto& eid = g.in_eid();
+  switch (cb.template_width) {
+    case 16:
+      cores::gat_scorebwd<16>(ptr.data(), eid.data(), a.feat, a.feat_cols, a.b,
+                              a.b_cols, a.a, a.a_cols, a.mask, a.mask_cols,
+                              cb.alpha, a.out0, cb.hot_width, list, count, v_lo,
+                              v_hi);
+      break;
+    case 32:
+      cores::gat_scorebwd<32>(ptr.data(), eid.data(), a.feat, a.feat_cols, a.b,
+                              a.b_cols, a.a, a.a_cols, a.mask, a.mask_cols,
+                              cb.alpha, a.out0, cb.hot_width, list, count, v_lo,
+                              v_hi);
+      break;
+    case 64:
+      cores::gat_scorebwd<64>(ptr.data(), eid.data(), a.feat, a.feat_cols, a.b,
+                              a.b_cols, a.a, a.a_cols, a.mask, a.mask_cols,
+                              cb.alpha, a.out0, cb.hot_width, list, count, v_lo,
+                              v_hi);
+      break;
+    default:
+      cores::gat_scorebwd<0>(ptr.data(), eid.data(), a.feat, a.feat_cols, a.b,
+                             a.b_cols, a.a, a.a_cols, a.mask, a.mask_cols,
+                             cb.alpha, a.out0, cb.hot_width, list, count, v_lo,
+                             v_hi);
+  }
+}
+
+void run_gat_scorebwd_combine(const Graph& g, const EdgeProgram& ep,
+                              const CoreBinding& cb, const CoreArgs& a,
+                              const std::int32_t* list, std::int64_t count,
+                              std::int64_t t_lo, std::int64_t t_hi) {
+  const VertexOutput& vo = ep.vertex_outputs[cb.boundary_out];
+  const auto& ptr = vo.reverse ? g.out_ptr() : g.in_ptr();
+  const auto& adj = vo.reverse ? g.out_dst() : g.in_src();
+  const auto& eid = vo.reverse ? g.out_eid() : g.in_eid();
+  switch (cb.template_width) {
+    case 16:
+      cores::gat_scorebwd_combine<16>(ptr.data(), adj.data(), eid.data(),
+                                      a.feat, a.feat_cols, a.b, a.b_cols, a.a,
+                                      a.a_cols, a.mask, a.mask_cols, cb.alpha,
+                                      a.outb, cb.hot_width, list, count, t_lo,
+                                      t_hi);
+      break;
+    case 32:
+      cores::gat_scorebwd_combine<32>(ptr.data(), adj.data(), eid.data(),
+                                      a.feat, a.feat_cols, a.b, a.b_cols, a.a,
+                                      a.a_cols, a.mask, a.mask_cols, cb.alpha,
+                                      a.outb, cb.hot_width, list, count, t_lo,
+                                      t_hi);
+      break;
+    case 64:
+      cores::gat_scorebwd_combine<64>(ptr.data(), adj.data(), eid.data(),
+                                      a.feat, a.feat_cols, a.b, a.b_cols, a.a,
+                                      a.a_cols, a.mask, a.mask_cols, cb.alpha,
+                                      a.outb, cb.hot_width, list, count, t_lo,
+                                      t_hi);
+      break;
+    default:
+      cores::gat_scorebwd_combine<0>(ptr.data(), adj.data(), eid.data(), a.feat,
+                                     a.feat_cols, a.b, a.b_cols, a.a, a.a_cols,
+                                     a.mask, a.mask_cols, cb.alpha, a.outb,
+                                     cb.hot_width, list, count, t_lo, t_hi);
+  }
+}
+
+void run_gauss_bwd(const Graph& g, const CoreBinding& cb, const CoreArgs& a,
+                   const std::int32_t* list, std::int64_t count,
+                   std::int64_t v_lo, std::int64_t v_hi) {
+  const auto& ptr = g.out_ptr();  // matcher requires src-major
+  const auto& adj = g.out_dst();
+  const auto& eid = g.out_eid();
+  switch (cb.template_width) {
+    case 16:
+      cores::gauss_bwd<16>(ptr.data(), adj.data(), eid.data(), a.feat,
+                           a.feat_cols, a.g, a.g_cols, a.a, a.a_cols, a.b, a.c,
+                           a.b_cols, cb.heads, cb.hot_width, a.out0, a.oute0,
+                           a.oute0_cols, a.oute1, a.oute1_cols, list, count,
+                           v_lo, v_hi);
+      break;
+    case 32:
+      cores::gauss_bwd<32>(ptr.data(), adj.data(), eid.data(), a.feat,
+                           a.feat_cols, a.g, a.g_cols, a.a, a.a_cols, a.b, a.c,
+                           a.b_cols, cb.heads, cb.hot_width, a.out0, a.oute0,
+                           a.oute0_cols, a.oute1, a.oute1_cols, list, count,
+                           v_lo, v_hi);
+      break;
+    case 64:
+      cores::gauss_bwd<64>(ptr.data(), adj.data(), eid.data(), a.feat,
+                           a.feat_cols, a.g, a.g_cols, a.a, a.a_cols, a.b, a.c,
+                           a.b_cols, cb.heads, cb.hot_width, a.out0, a.oute0,
+                           a.oute0_cols, a.oute1, a.oute1_cols, list, count,
+                           v_lo, v_hi);
+      break;
+    default:
+      cores::gauss_bwd<0>(ptr.data(), adj.data(), eid.data(), a.feat,
+                          a.feat_cols, a.g, a.g_cols, a.a, a.a_cols, a.b, a.c,
+                          a.b_cols, cb.heads, cb.hot_width, a.out0, a.oute0,
+                          a.oute0_cols, a.oute1, a.oute1_cols, list, count,
+                          v_lo, v_hi);
+  }
+}
+
+void run_sum_eb(const Graph& g, const EdgeProgram& ep, const CoreBinding& cb,
+                const CoreArgs& a, const std::int32_t* list,
+                std::int64_t count, std::int64_t t_lo, std::int64_t t_hi) {
+  const VertexOutput& vo = ep.vertex_outputs[0];
+  const auto& ptr = vo.reverse ? g.out_ptr() : g.in_ptr();
+  const auto& adj = vo.reverse ? g.out_dst() : g.in_src();
+  switch (cb.template_width) {
+    case 16:
+      cores::sum_eb<16>(ptr.data(), adj.data(), a.feat, a.feat_cols, a.out0,
+                        cb.hot_width, list, count, t_lo, t_hi);
+      break;
+    case 32:
+      cores::sum_eb<32>(ptr.data(), adj.data(), a.feat, a.feat_cols, a.out0,
+                        cb.hot_width, list, count, t_lo, t_hi);
+      break;
+    case 64:
+      cores::sum_eb<64>(ptr.data(), adj.data(), a.feat, a.feat_cols, a.out0,
+                        cb.hot_width, list, count, t_lo, t_hi);
+      break;
+    default:
+      cores::sum_eb<0>(ptr.data(), adj.data(), a.feat, a.feat_cols, a.out0,
+                       cb.hot_width, list, count, t_lo, t_hi);
   }
 }
 
@@ -383,6 +787,10 @@ const char* to_string(CoreKind kind) {
     case CoreKind::GatSoftmax: return "gat_softmax";
     case CoreKind::EdgeConvMax: return "edgeconv_max";
     case CoreKind::MoNetGauss: return "monet_gauss";
+    case CoreKind::MaxBwdGather: return "maxbwd_gather";
+    case CoreKind::GatScoreBwd: return "gat_scorebwd";
+    case CoreKind::GaussBwd: return "gauss_bwd";
+    case CoreKind::SumEb: return "sum_eb";
   }
   return "?";
 }
@@ -401,11 +809,20 @@ std::string CoreBinding::label() const {
 }
 
 CoreBinding match_core(const EdgeProgram& ep) {
-  if (!core_eligible(ep)) return CoreBinding{};
-  if (CoreBinding cb = match_gcn_wsum(ep); cb.specialized()) return cb;
-  if (CoreBinding cb = match_gat_softmax(ep); cb.specialized()) return cb;
-  if (CoreBinding cb = match_edgeconv_max(ep); cb.specialized()) return cb;
-  if (CoreBinding cb = match_monet_gauss(ep); cb.specialized()) return cb;
+  if (ep.vertex_outputs.empty()) return CoreBinding{};
+  if (ep.mapping == WorkMapping::EdgeBalanced) return match_sum_eb(ep);
+  if (ep.mapping != WorkMapping::VertexBalanced) return CoreBinding{};
+  if (forward_core_eligible(ep)) {
+    if (CoreBinding cb = match_gcn_wsum(ep); cb.specialized()) return cb;
+    if (CoreBinding cb = match_gat_softmax(ep); cb.specialized()) return cb;
+    if (CoreBinding cb = match_edgeconv_max(ep); cb.specialized()) return cb;
+    if (CoreBinding cb = match_monet_gauss(ep); cb.specialized()) return cb;
+  }
+  // Training shapes: may carry StoreE edge outputs (gauss_bwd) and/or one
+  // cross-orientation Sum reduction (the dual-reduce mask gathers).
+  if (CoreBinding cb = match_maxbwd_gather(ep); cb.specialized()) return cb;
+  if (CoreBinding cb = match_gat_scorebwd(ep); cb.specialized()) return cb;
+  if (CoreBinding cb = match_gauss_bwd(ep); cb.specialized()) return cb;
   return CoreBinding{};
 }
 
@@ -418,6 +835,7 @@ CoreArgs resolve_core_args(const CoreBinding& cb, const EdgeProgram& ep,
   a.feat_cols = feat.cols();
   switch (cb.kind) {
     case CoreKind::GcnWsum:
+    case CoreKind::SumEb:
       break;
     case CoreKind::GatSoftmax: {
       const Tensor& al = b.tensor(cb.t_a);
@@ -447,34 +865,108 @@ CoreArgs resolve_core_args(const CoreBinding& cb, const EdgeProgram& ep,
       a.b_cols = mu.cols();  // pseudo dim r, the interpreter's gauss_r
       break;
     }
+    case CoreKind::MaxBwdGather: {
+      const IntTensor& aux = b.aux(cb.t_aux);
+      a.mask = aux.data();
+      a.mask_cols = aux.cols();
+      break;
+    }
+    case CoreKind::GatScoreBwd: {
+      const Tensor& gs = b.tensor(cb.t_a);
+      const Tensor& sc = b.tensor(cb.t_b);
+      const IntTensor& aux = b.aux(cb.t_aux);
+      a.a = gs.data();
+      a.a_cols = gs.cols();
+      a.b = sc.data();
+      a.b_cols = sc.cols();
+      a.mask = aux.data();
+      a.mask_cols = aux.cols();
+      break;
+    }
+    case CoreKind::GaussBwd: {
+      const Tensor& grad = b.tensor(cb.t_g);
+      const Tensor& ps = b.tensor(cb.t_a);
+      const Tensor& mu = b.tensor(cb.t_b);
+      const Tensor& sigma = b.tensor(cb.t_c);
+      a.g = grad.data();
+      a.g_cols = grad.cols();
+      a.a = ps.data();
+      a.a_cols = ps.cols();
+      a.b = mu.data();
+      a.c = sigma.data();
+      a.b_cols = mu.cols();
+      Tensor& e0 = b.out(cb.t_e0);
+      Tensor& e1 = b.out(cb.t_e1);
+      a.oute0 = e0.data();
+      a.oute0_cols = e0.cols();
+      a.oute1 = e1.data();
+      a.oute1_cols = e1.cols();
+      break;
+    }
     case CoreKind::None:
       break;
   }
-  a.out0 = b.out(ep.vertex_outputs[0].node).data();
-  if (ep.vertex_outputs[0].track_argmax) {
-    a.aux0 = b.out_aux(ep.vertex_outputs[0].node).data();
+  // out0 is the walk core's sequential output; forward cores use the shape's
+  // fixed layout (vertex_outputs[0]), the training matchers record the index.
+  const int s_out = cb.seq_out >= 0 ? cb.seq_out : 0;
+  const VertexOutput& svo = ep.vertex_outputs[s_out];
+  a.out0 = b.out(svo.node).data();
+  if (svo.track_argmax) {
+    a.aux0 = b.out_aux(svo.node).data();
+  }
+  if (cb.has_boundary()) {
+    a.outb = b.out(ep.vertex_outputs[cb.boundary_out].node).data();
   }
   return a;
 }
 
-void run_core_range(const Graph& g, const EdgeProgram& ep,
-                    const CoreBinding& cb, const CoreArgs& args,
-                    std::int64_t v_lo, std::int64_t v_hi) {
+void run_core_span(const Graph& g, const EdgeProgram& ep,
+                   const CoreBinding& cb, const CoreArgs& args,
+                   const std::int32_t* list, std::int64_t count,
+                   std::int64_t v_lo, std::int64_t v_hi) {
   switch (cb.kind) {
     case CoreKind::GcnWsum:
-      run_gcn_wsum(g, ep, cb, args, v_lo, v_hi);
+      run_gcn_wsum(g, ep, cb, args, list, count, v_lo, v_hi);
       break;
     case CoreKind::GatSoftmax:
-      run_gat_softmax(g, cb, args, v_lo, v_hi);
+      run_gat_softmax(g, cb, args, list, count, v_lo, v_hi);
       break;
     case CoreKind::EdgeConvMax:
-      run_edgeconv_max(g, cb, args, v_lo, v_hi);
+      run_edgeconv_max(g, cb, args, list, count, v_lo, v_hi);
       break;
     case CoreKind::MoNetGauss:
-      run_monet_gauss(g, ep, cb, args, v_lo, v_hi);
+      run_monet_gauss(g, ep, cb, args, list, count, v_lo, v_hi);
+      break;
+    case CoreKind::MaxBwdGather:
+      run_maxbwd_gather(g, cb, args, list, count, v_lo, v_hi);
+      break;
+    case CoreKind::GatScoreBwd:
+      run_gat_scorebwd(g, cb, args, list, count, v_lo, v_hi);
+      break;
+    case CoreKind::GaussBwd:
+      run_gauss_bwd(g, cb, args, list, count, v_lo, v_hi);
+      break;
+    case CoreKind::SumEb:
+      run_sum_eb(g, ep, cb, args, list, count, v_lo, v_hi);
       break;
     case CoreKind::None:
-      TRIAD_UNREACHABLE("run_core_range on an unmatched program");
+      TRIAD_UNREACHABLE("run_core_span on an unmatched program");
+  }
+}
+
+void run_core_combine_span(const Graph& g, const EdgeProgram& ep,
+                           const CoreBinding& cb, const CoreArgs& args,
+                           const std::int32_t* list, std::int64_t count,
+                           std::int64_t t_lo, std::int64_t t_hi) {
+  switch (cb.kind) {
+    case CoreKind::MaxBwdGather:
+      run_maxbwd_gather_combine(g, ep, cb, args, list, count, t_lo, t_hi);
+      break;
+    case CoreKind::GatScoreBwd:
+      run_gat_scorebwd_combine(g, ep, cb, args, list, count, t_lo, t_hi);
+      break;
+    default:
+      TRIAD_UNREACHABLE("run_core_combine_span on a core without a boundary");
   }
 }
 

@@ -474,14 +474,6 @@ void walk_vertex_range(const Graph& g, const EdgeProgram& ep,
   walk_vertex_span(g, ep, rp, nullptr, 0, v_lo, v_hi);
 }
 
-/// Walks an explicit owned-vertex list (a shard's frontier or interior set).
-void walk_vertex_list(const Graph& g, const EdgeProgram& ep,
-                      ResolvedProgram& rp,
-                      const std::vector<std::int32_t>& vs) {
-  walk_vertex_span(g, ep, rp, vs.data(),
-                   static_cast<std::int64_t>(vs.size()), 0, 0);
-}
-
 /// Edge-balanced walk over edges [e_lo, e_hi). Serial; see walk_vertex_range.
 void walk_edge_range(const Graph& g, const EdgeProgram& ep, ResolvedProgram& rp,
                      std::int64_t e_lo, std::int64_t e_hi) {
@@ -667,18 +659,48 @@ void check_program(const EdgeProgram& ep) {
 
 }  // namespace
 
+namespace {
+
+/// Counter bookkeeping shared by both runners for a specialized execution:
+/// the fwd/bwd edge split, plus the stash bytes a boundary combine core
+/// avoided by recomputing per-edge values instead of stashing them (the
+/// interpreter's elision charges the same counter; cores never stash).
+void charge_specialized(const Graph& g, const EdgeProgram& ep,
+                        const CoreBinding& core, bool backward) {
+  PerfCounters& c = global_counters();
+  const auto m = static_cast<std::uint64_t>(g.num_edges());
+  (backward ? c.specialized_bwd_edges : c.specialized_fwd_edges) += m;
+  if (core.has_boundary()) {
+    const auto w = static_cast<std::uint64_t>(
+        ep.vertex_outputs[core.boundary_out].width);
+    c.boundary_stash_saved_bytes += m * w * 4;
+  }
+}
+
+}  // namespace
+
 void run_edge_program(const Graph& g, const EdgeProgram& ep, const VmBindings& b,
-                      const CoreBinding* core) {
+                      const CoreBinding* core, bool backward) {
   check_program(ep);
+  PerfCounters& c = global_counters();
   if (core != nullptr && core->specialized()) {
-    // Specialized path: the core handles every phase and reduction of the
-    // program (matchers only accept all-sequential programs, so there is no
-    // boundary stash and no combine sweep).
+    // Specialized path: the walk core handles every phase, sequential
+    // reduction, and edge store of the program; a binding with a boundary
+    // output is finalized by the combine core afterwards (never a stash —
+    // the combine recomputes, see engine/specialize.h).
     const CoreArgs args = resolve_core_args(*core, ep, b);
     parallel_for_chunks(0, g.num_vertices(), [&](std::int64_t lo, std::int64_t hi) {
       run_core_range(g, ep, *core, args, lo, hi);
     }, /*grain=*/64);
-    global_counters().specialized_edges += static_cast<std::uint64_t>(g.num_edges());
+    if (core->has_boundary()) {
+      parallel_for_chunks(0, g.num_vertices(),
+                          [&](std::int64_t lo, std::int64_t hi) {
+                            run_core_combine_span(g, ep, *core, args, nullptr,
+                                                  0, lo, hi);
+                          },
+                          /*grain=*/256);
+    }
+    charge_specialized(g, ep, *core, backward);
   } else {
     ResolvedProgram rp = resolve(g, ep, b);
     if (ep.mapping == WorkMapping::VertexBalanced) {
@@ -691,7 +713,8 @@ void run_edge_program(const Graph& g, const EdgeProgram& ep, const VmBindings& b
       }, /*grain=*/4096);
     }
     combine_boundary(g, ep, rp);
-    global_counters().interpreted_edges += static_cast<std::uint64_t>(g.num_edges());
+    (backward ? c.interpreted_bwd_edges : c.interpreted_fwd_edges) +=
+        static_cast<std::uint64_t>(g.num_edges());
   }
 
   charge_program(g.num_vertices(), g.num_edges(), ep);
@@ -740,76 +763,45 @@ void run_sharded_barrier(const Graph& g, const Partitioning& part,
   }
 }
 
-/// Pipelined path (vertex-balanced only): frontier-first walks publishing
-/// through PipelineRun's ready counters; each owner shard's combine fires
-/// the instant its dependencies clear — its frontier rows on the thread
-/// whose publish completed the dependency set, its interior rows (whose
-/// contributors are all local) inline right after the shard's own walk.
-/// Overlap bookkeeping: per-slot single writer, read after the join.
-void run_sharded_pipelined(const Graph& g, const Partitioning& part,
-                           const EdgeProgram& ep, ResolvedProgram& rp,
-                           const PipelineSchedule& sched,
-                           std::vector<double>& walk_s,
-                           std::vector<double>& comb_s) {
-  const int k = part.num_shards();
-  const Timer ref;  // shared epoch for overlap windows; read-only after here
-  std::vector<double> fc_lo(k, 0.0), fc_hi(k, 0.0);  // frontier-combine spans
-  std::vector<double> ic_lo(k, 0.0), ic_hi(k, 0.0);  // interior-combine spans
-  std::vector<double> pub(k, 0.0);                   // full-walk publish times
-  PipelineRun run(sched, [&](int s) {
-    if (!rp.has_boundary) return;  // nothing to fold, and no span to record
-    const Shard& sh = part.shard(s);
-    const double t0 = ref.seconds();
-    combine_boundary_targets(g, ep, rp, sh.frontier.data(),
-                             static_cast<std::int64_t>(sh.frontier.size()),
-                             0, 0);
-    fc_lo[s] = t0;
-    fc_hi[s] = ref.seconds();
-  });
-  parallel_for(0, k, [&](std::int64_t si) {
-    const int s = static_cast<int>(si);
-    const Shard& sh = part.shard(s);
-    Timer wt;
-    walk_vertex_list(g, ep, rp, sh.frontier);
-    const double front_s = wt.seconds();
-    run.publish_frontier(s);  // may fire dependent combines inline
-    Timer wt2;
-    walk_vertex_list(g, ep, rp, sh.interior);
-    walk_s[s] = front_s + wt2.seconds();
-    pub[s] = ref.seconds();
-    run.publish_full(s);  // may fire this shard's frontier combine inline
-    if (rp.has_boundary) {
-      // Interior targets receive contributions only from this shard's own
-      // walkers, which just finished on this very thread — no dependency
-      // tracking needed, and the work overlaps other shards' walks.
-      const double t0 = ref.seconds();
-      combine_boundary_targets(g, ep, rp, sh.interior.data(),
-                               static_cast<std::int64_t>(sh.interior.size()),
-                               0, 0);
-      ic_lo[s] = t0;
-      ic_hi[s] = ref.seconds();
-    }
-  }, /*grain=*/1);
-  TRIAD_CHECK(run.all_done(), "pipelined combine did not fire for every shard");
-
-  // Post-join accounting on the caller thread (PerfCounters is thread-local).
+/// Post-join accounting shared by both pipelined runners (PerfCounters is
+/// thread-local, so this runs on the caller thread only).
+void charge_pipelined(const Partitioning& part, const EdgeProgram& ep,
+                      const PipelineTiming& tm) {
   PerfCounters& c = global_counters();
-  double last_pub = 0.0;
-  for (int s = 0; s < k; ++s) last_pub = std::max(last_pub, pub[s]);
-  double overlap = 0.0;
-  for (int s = 0; s < k; ++s) {
-    comb_s[s] = (fc_hi[s] - fc_lo[s]) + (ic_hi[s] - ic_lo[s]);
-    // Combine time spent while at least one shard was still walking — the
-    // part of the sweep the barrier path would have serialized after it.
-    overlap += std::max(0.0, std::min(fc_hi[s], last_pub) - fc_lo[s]);
-    overlap += std::max(0.0, std::min(ic_hi[s], last_pub) - ic_lo[s]);
+  for (int s = 0; s < part.num_shards(); ++s) {
     const Shard& sh = part.shard(s);
     c.frontier_edges += static_cast<std::uint64_t>(
         ep.dst_major ? sh.frontier_in_edges : sh.frontier_out_edges);
     c.interior_edges += static_cast<std::uint64_t>(
         ep.dst_major ? sh.interior_in_edges() : sh.interior_out_edges());
   }
-  c.combine_overlap_ns += static_cast<std::uint64_t>(overlap * 1e9);
+  c.combine_overlap_ns += static_cast<std::uint64_t>(tm.overlap_s * 1e9);
+}
+
+/// Specialized barrier path: per-shard walk-core tasks, join, then — when the
+/// binding has a boundary output — per-shard owner-range combine-core tasks
+/// (shard ranges partition [0, |V|) and each row's fold order is fixed, so K
+/// concurrent tasks reproduce the serial sweep bit for bit).
+void run_sharded_core_barrier(const Graph& g, const Partitioning& part,
+                              const EdgeProgram& ep, const CoreBinding& core,
+                              const CoreArgs& args,
+                              std::vector<double>& walk_s,
+                              std::vector<double>& comb_s) {
+  const int k = part.num_shards();
+  parallel_for(0, k, [&](std::int64_t s) {
+    const Shard& sh = part.shard(static_cast<int>(s));
+    Timer t;
+    run_core_range(g, ep, core, args, sh.v_lo, sh.v_hi);
+    walk_s[s] = t.seconds();
+  }, /*grain=*/1);
+  if (core.has_boundary()) {
+    parallel_for(0, k, [&](std::int64_t s) {
+      const Shard& sh = part.shard(static_cast<int>(s));
+      Timer t;
+      run_core_combine_span(g, ep, core, args, nullptr, 0, sh.v_lo, sh.v_hi);
+      comb_s[s] = t.seconds();
+    }, /*grain=*/1);
+  }
 }
 
 }  // namespace
@@ -817,41 +809,69 @@ void run_sharded_pipelined(const Graph& g, const Partitioning& part,
 void run_edge_program_sharded(const Graph& g, const Partitioning& part,
                               const EdgeProgram& ep, const VmBindings& b,
                               const CoreBinding* core,
-                              const PipelineSchedule* pipeline) {
+                              const PipelineSchedule* pipeline,
+                              bool backward) {
   check_program(ep);
   TRIAD_CHECK_EQ(part.num_vertices(), g.num_vertices(),
                  "partitioning built for a different graph");
 
   const int k = part.num_shards();
+  PerfCounters& c = global_counters();
+  std::vector<double> walk_s(k, 0.0), comb_s(k, 0.0);
   if (core != nullptr && core->specialized()) {
-    // Specialized path: shard-per-pool-task like the interpreter; cores only
-    // run all-sequential programs, so shard output needs no combine, nothing
-    // to pipeline, and is bit-identical to the single-shard core (same
-    // per-vertex loops).
+    // Specialized path: shard-per-pool-task like the interpreter. Bindings
+    // with a boundary output run their combine core per owner shard —
+    // barriered, or through the same frontier-first pipelined skeleton as
+    // the interpreter when a schedule is installed. Bit-identical to the
+    // single-shard core either way (same per-vertex loops, same fold order).
     const CoreArgs args = resolve_core_args(*core, ep, b);
-    parallel_for(0, k, [&](std::int64_t s) {
-      const Shard& sh = part.shard(static_cast<int>(s));
-      run_core_range(g, ep, *core, args, sh.v_lo, sh.v_hi);
-    }, /*grain=*/1);
-    global_counters().specialized_edges += static_cast<std::uint64_t>(g.num_edges());
-  } else {
-    ResolvedProgram rp = resolve(g, ep, b);
-    std::vector<double> walk_s(k, 0.0), comb_s(k, 0.0);
     if (pipeline != nullptr && ep.mapping == WorkMapping::VertexBalanced) {
       TRIAD_CHECK_EQ(pipeline->num_shards(), k,
                      "pipeline schedule built for a different partitioning");
-      run_sharded_pipelined(g, part, ep, rp, *pipeline, walk_s, comb_s);
+      const PipelineTiming tm = run_pipelined(
+          part, *pipeline,
+          [&](int, const std::int32_t* list, std::int64_t count) {
+            run_core_span(g, ep, *core, args, list, count, 0, 0);
+          },
+          [&](int, const std::int32_t* list, std::int64_t count) {
+            run_core_combine_span(g, ep, *core, args, list, count, 0, 0);
+          },
+          core->has_boundary());
+      walk_s = tm.walk_s;
+      comb_s = tm.comb_s;
+      charge_pipelined(part, ep, tm);
+    } else {
+      run_sharded_core_barrier(g, part, ep, *core, args, walk_s, comb_s);
+    }
+    charge_specialized(g, ep, *core, backward);
+  } else {
+    ResolvedProgram rp = resolve(g, ep, b);
+    if (pipeline != nullptr && ep.mapping == WorkMapping::VertexBalanced) {
+      TRIAD_CHECK_EQ(pipeline->num_shards(), k,
+                     "pipeline schedule built for a different partitioning");
+      const PipelineTiming tm = run_pipelined(
+          part, *pipeline,
+          [&](int, const std::int32_t* list, std::int64_t count) {
+            walk_vertex_span(g, ep, rp, list, count, 0, 0);
+          },
+          [&](int, const std::int32_t* list, std::int64_t count) {
+            combine_boundary_targets(g, ep, rp, list, count, 0, 0);
+          },
+          rp.has_boundary);
+      walk_s = tm.walk_s;
+      comb_s = tm.comb_s;
+      charge_pipelined(part, ep, tm);
     } else {
       // Edge-balanced programs keep the barrier: their walk order is not
       // vertex-owned, so there is no frontier/interior split to exploit.
       run_sharded_barrier(g, part, ep, rp, walk_s, comb_s);
     }
-    PerfCounters& c = global_counters();
-    for (int s = 0; s < k; ++s) {
-      c.walk_ns += static_cast<std::uint64_t>(walk_s[s] * 1e9);
-      c.combine_ns += static_cast<std::uint64_t>(comb_s[s] * 1e9);
-    }
-    c.interpreted_edges += static_cast<std::uint64_t>(g.num_edges());
+    (backward ? c.interpreted_bwd_edges : c.interpreted_fwd_edges) +=
+        static_cast<std::uint64_t>(g.num_edges());
+  }
+  for (int s = 0; s < k; ++s) {
+    c.walk_ns += static_cast<std::uint64_t>(walk_s[s] * 1e9);
+    c.combine_ns += static_cast<std::uint64_t>(comb_s[s] * 1e9);
   }
 
   // Per-shard charging: each shard is one modeled kernel over its owned

@@ -54,12 +54,15 @@ struct VmBindings {
 ///
 /// `core`: optional specialized-core binding produced by match_core at plan
 /// compile time. When it names a core, the walk runs that core instead of the
-/// interpreter — bit-identical output (see engine/specialize.h) — and charges
-/// PerfCounters::specialized_edges; null or unmatched runs the interpreter
-/// and charges interpreted_edges. The analytic device-cost model is charged
-/// identically either way (it models the program, not the CPU realization).
+/// interpreter — bit-identical output (see engine/specialize.h) — and, for
+/// bindings with a boundary output, run_core_combine_span finalizes it after
+/// the walk. Specialized runs charge PerfCounters::specialized_{fwd,bwd}_edges
+/// and null/unmatched runs charge interpreted_{fwd,bwd}_edges, split by
+/// `backward` (true = the program belongs to the training backward pass). The
+/// analytic device-cost model is charged identically either way (it models
+/// the program, not the CPU realization).
 void run_edge_program(const Graph& g, const EdgeProgram& ep, const VmBindings& b,
-                      const CoreBinding* core = nullptr);
+                      const CoreBinding* core = nullptr, bool backward = false);
 
 class PipelineSchedule;
 
@@ -68,12 +71,17 @@ class PipelineSchedule;
 /// Output is bit-identical to run_edge_program for every K.
 ///
 /// `pipeline`: optional combine-dependency schedule (must match `part`).
-/// Non-null runs vertex-balanced interpreted programs through the pipelined
-/// frontier-first path instead of the barrier; specialized cores and
-/// edge-balanced programs ignore it. Bit-identical either way.
+/// Non-null runs vertex-balanced programs — interpreted AND specialized —
+/// through the pipelined frontier-first path instead of the barrier, so
+/// specialized backward cores (whose boundary output is finalized by the
+/// combine core) overlap their combine with other shards' walks exactly like
+/// the interpreter does. Edge-balanced programs keep the barrier. Output is
+/// bit-identical either way. `backward` selects the fwd/bwd counter split as
+/// in run_edge_program.
 void run_edge_program_sharded(const Graph& g, const Partitioning& part,
                               const EdgeProgram& ep, const VmBindings& b,
                               const CoreBinding* core = nullptr,
-                              const PipelineSchedule* pipeline = nullptr);
+                              const PipelineSchedule* pipeline = nullptr,
+                              bool backward = false);
 
 }  // namespace triad

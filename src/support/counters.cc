@@ -49,8 +49,12 @@ std::string PerfCounters::to_string() const {
          " passes=" + std::to_string(ir_passes) +
          " rewrites=" + std::to_string(graph_rewrites) +
          " plans=" + std::to_string(plan_compiles) +
-         " spec_edges=" + human_count(specialized_edges) +
-         " interp_edges=" + human_count(interpreted_edges) +
+         " spec_edges=" + human_count(specialized_edges()) +
+         " (fwd=" + human_count(specialized_fwd_edges) +
+         " bwd=" + human_count(specialized_bwd_edges) + ")" +
+         " interp_edges=" + human_count(interpreted_edges()) +
+         " (fwd=" + human_count(interpreted_fwd_edges) +
+         " bwd=" + human_count(interpreted_bwd_edges) + ")" +
          " interior_edges=" + human_count(interior_edges) +
          " frontier_edges=" + human_count(frontier_edges) +
          " walk=" + human_count(walk_ns) + "ns" +

@@ -26,8 +26,14 @@ struct PerfCounters {
   std::uint64_t ir_passes = 0;         ///< IR passes executed (compile-time work)
   std::uint64_t graph_rewrites = 0;    ///< optimizer rule hits (compile-time work)
   std::uint64_t plan_compiles = 0;     ///< ExecutionPlans built (compile-time work)
-  std::uint64_t specialized_edges = 0;  ///< edges run by specialized cores
-  std::uint64_t interpreted_edges = 0;  ///< edges run by the VM interpreter
+  // Specialized-vs-interpreted edge accounting, split by pass so training
+  // benches can prove the backward cores engage (a training step charges the
+  // forward programs to *_fwd_edges and the gradient programs to
+  // *_bwd_edges; forward-only runs leave the bwd fields zero).
+  std::uint64_t specialized_fwd_edges = 0;  ///< forward edges run by cores
+  std::uint64_t specialized_bwd_edges = 0;  ///< backward edges run by cores
+  std::uint64_t interpreted_fwd_edges = 0;  ///< forward edges interpreted
+  std::uint64_t interpreted_bwd_edges = 0;  ///< backward edges interpreted
   std::uint64_t interior_edges = 0;     ///< pipelined walks: edges of interior vertices
   std::uint64_t frontier_edges = 0;     ///< pipelined walks: edges of frontier vertices
   std::uint64_t walk_ns = 0;            ///< sharded walks: per-shard task time, summed
@@ -37,6 +43,13 @@ struct PerfCounters {
   std::uint64_t boundary_stash_saved_bytes = 0;  ///< stash elided via combine-time recompute
 
   std::uint64_t io_bytes() const { return dram_read_bytes + dram_write_bytes; }
+  /// Totals over both passes — the pre-split counters every report keeps.
+  std::uint64_t specialized_edges() const {
+    return specialized_fwd_edges + specialized_bwd_edges;
+  }
+  std::uint64_t interpreted_edges() const {
+    return interpreted_fwd_edges + interpreted_bwd_edges;
+  }
   /// Total compile-phase events; zero across a window proves the window ran
   /// entirely from a prebuilt ExecutionPlan (no re-analysis in the hot loop).
   std::uint64_t compile_events() const { return ir_passes + plan_compiles; }
@@ -53,8 +66,10 @@ struct PerfCounters {
     r.ir_passes = ir_passes - o.ir_passes;
     r.graph_rewrites = graph_rewrites - o.graph_rewrites;
     r.plan_compiles = plan_compiles - o.plan_compiles;
-    r.specialized_edges = specialized_edges - o.specialized_edges;
-    r.interpreted_edges = interpreted_edges - o.interpreted_edges;
+    r.specialized_fwd_edges = specialized_fwd_edges - o.specialized_fwd_edges;
+    r.specialized_bwd_edges = specialized_bwd_edges - o.specialized_bwd_edges;
+    r.interpreted_fwd_edges = interpreted_fwd_edges - o.interpreted_fwd_edges;
+    r.interpreted_bwd_edges = interpreted_bwd_edges - o.interpreted_bwd_edges;
     r.interior_edges = interior_edges - o.interior_edges;
     r.frontier_edges = frontier_edges - o.frontier_edges;
     r.walk_ns = walk_ns - o.walk_ns;
@@ -76,8 +91,10 @@ struct PerfCounters {
     ir_passes += o.ir_passes;
     graph_rewrites += o.graph_rewrites;
     plan_compiles += o.plan_compiles;
-    specialized_edges += o.specialized_edges;
-    interpreted_edges += o.interpreted_edges;
+    specialized_fwd_edges += o.specialized_fwd_edges;
+    specialized_bwd_edges += o.specialized_bwd_edges;
+    interpreted_fwd_edges += o.interpreted_fwd_edges;
+    interpreted_bwd_edges += o.interpreted_bwd_edges;
     interior_edges += o.interior_edges;
     frontier_edges += o.frontier_edges;
     walk_ns += o.walk_ns;

@@ -4,13 +4,17 @@
 //    exactly the same logits and parameter gradients as the interpreter
 //    (exact float equality, no tolerance);
 //  * the matcher fires on the optimizer's post-fusion programs with the
-//    expected core kind (and never fires when the strategy disables it);
+//    expected core kind — forward shapes, the training backward shapes
+//    (maxbwd_gather / gat_scorebwd / gauss_bwd), and the edge-balanced Sum
+//    gather (sum_eb) — and never fires when the strategy disables it;
 //  * any structural mutation of a matched program falls back to the
-//    interpreter (kind == None) instead of binding a wrong core.
+//    interpreter (kind == None) instead of binding a wrong core;
+//  * PerfCounters splits specialized/interpreted edges by pass direction.
 #include <gtest/gtest.h>
 
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/strategy.h"
@@ -183,21 +187,64 @@ TEST(Specialize, MatcherSelectsExpectedCores) {
   }
 }
 
-TEST(Specialize, TrainingPlansKeepBoundCoresAndFallBackElsewhere) {
-  // Backward programs of the attention/max/gaussian models stash edge tensors
-  // or reduce cross-orientation — the matcher must refuse those (interpreter
-  // fallback), while still binding the forward shapes it recognizes.
+TEST(Specialize, TrainingPlansBindBackwardCores) {
+  // The gradient programs fusion emits for the stock models have dedicated
+  // backward cores: the EdgeConv argmax-replay gather, the GAT score
+  // gradient, and the MoNet store_e stash shape. (The GCN gradient gather is
+  // structurally the forward weighted sum and binds gcn_wsum.) Anything the
+  // matcher does not recognize — e.g. the wide two-phase GAT feature-gradient
+  // program — must stay on the interpreter, never bind a wrong core.
   Graph g = test_graph();
-  const auto cases = model_cases();
-  for (const ModelCase& mc : cases) {
+  const auto cases = model_cases();  // gcn, gat, monet, edgeconv
+  const CoreKind expected[] = {CoreKind::GcnWsum, CoreKind::GatScoreBwd,
+                               CoreKind::GaussBwd, CoreKind::MaxBwdGather};
+  for (std::size_t i = 0; i < cases.size(); ++i) {
     Rng rng(4242);
-    Compiled c = compile_model(mc.build(rng, 16), ours(), /*training=*/true, g);
+    Compiled c =
+        compile_model(cases[i].build(rng, 16), ours(), /*training=*/true, g);
     ASSERT_NE(c.plan, nullptr);
-    int specialized = 0;
-    for (const CoreBinding& cb : c.plan->cores()) {
-      specialized += cb.specialized() ? 1 : 0;
+    EXPECT_GE(count_kind(c.plan->cores(), expected[i]), 1)
+        << cases[i].name << " training plan bound no "
+        << to_string(expected[i]) << " core";
+  }
+}
+
+TEST(Specialize, EdgeBalancedProgramsBindSumEbAndStayBitIdentical) {
+  // Under the edge-balanced mapping preference the GCN gather compiles to a
+  // single-phase atomic-Sum program; the interpreter realizes it as its
+  // deterministic per-target combine, and the sum_eb core is that same fold.
+  Graph g = test_graph();
+  Rng drng(34);
+  const auto cases = model_cases();
+  Tensor features = Tensor::randn(g.num_vertices(), cases[0].in_dim, drng);
+  IntTensor labels(g.num_vertices(), 1);
+  for (std::int64_t v = 0; v < g.num_vertices(); ++v) {
+    labels.at(v, 0) = static_cast<std::int32_t>(v % 3);
+  }
+  Strategy on = ours();
+  on.mapping = WorkMapping::EdgeBalanced;
+  {
+    Rng rng(4242);
+    Compiled c =
+        compile_model(cases[0].build(rng, 16), on, /*training=*/true, g);
+    ASSERT_NE(c.plan, nullptr);
+    EXPECT_GE(count_kind(c.plan->cores(), CoreKind::SumEb), 1)
+        << "edge-balanced GCN plan bound no sum_eb core";
+  }
+  Strategy off = on;
+  off.specialize = false;
+  for (const int shards : {1, 4}) {
+    const RunResult a =
+        run_one(cases[0], 16, on, g, features, Tensor{}, labels, shards);
+    const RunResult b =
+        run_one(cases[0], 16, off, g, features, Tensor{}, labels, shards);
+    const std::string label = "gcn/eb/K=" + std::to_string(shards);
+    expect_exactly_equal(a.logits, b.logits, label + " logits");
+    ASSERT_EQ(a.grads.size(), b.grads.size()) << label;
+    for (std::size_t i = 0; i < a.grads.size(); ++i) {
+      expect_exactly_equal(a.grads[i], b.grads[i],
+                           label + " grad " + std::to_string(i));
     }
-    EXPECT_GE(specialized, 1) << mc.name;
   }
 }
 
@@ -219,6 +266,8 @@ TEST(Specialize, CountersChargeSpecializedVsInterpreted) {
   const auto cases = model_cases();
   Tensor features = Tensor::randn(g.num_vertices(), cases[0].in_dim, drng);
   IntTensor labels(g.num_vertices(), 1);
+  for (std::int64_t v = 0; v < g.num_vertices(); ++v)
+    labels.at(v, 0) = static_cast<std::int32_t>(v % 3);
   auto edges_of = [&](const Strategy& s) {
     Rng rng(4242);
     Compiled c = compile_model(cases[0].build(rng, 16), s, false, g);
@@ -228,11 +277,40 @@ TEST(Specialize, CountersChargeSpecializedVsInterpreted) {
     return t.forward(labels).counters;
   };
   const PerfCounters on = edges_of(ours());
-  EXPECT_GT(on.specialized_edges, 0u);
-  EXPECT_EQ(on.interpreted_edges, 0u);  // GCN forward: every program matches
+  EXPECT_GT(on.specialized_edges(), 0u);
+  EXPECT_EQ(on.interpreted_edges(), 0u);  // GCN forward: every program matches
+  EXPECT_EQ(on.specialized_bwd_edges, 0u);  // forward-only run
   const PerfCounters off = edges_of(ours_no_specialize());
-  EXPECT_EQ(off.specialized_edges, 0u);
-  EXPECT_GT(off.interpreted_edges, 0u);
+  EXPECT_EQ(off.specialized_edges(), 0u);
+  EXPECT_GT(off.interpreted_edges(), 0u);
+}
+
+TEST(Specialize, CountersSplitForwardAndBackwardEdges) {
+  // A full training step must charge the forward programs to the fwd slots
+  // and the gradient programs to the bwd slots — under specialization and
+  // under the interpreter alike.
+  Graph g = test_graph();
+  Rng drng(33);
+  const auto cases = model_cases();
+  Tensor features = Tensor::randn(g.num_vertices(), cases[0].in_dim, drng);
+  IntTensor labels(g.num_vertices(), 1);
+  for (std::int64_t v = 0; v < g.num_vertices(); ++v)
+    labels.at(v, 0) = static_cast<std::int32_t>(v % 3);
+  auto step_counters = [&](const Strategy& s) {
+    Rng rng(4242);
+    Compiled c = compile_model(cases[0].build(rng, 16), s, /*training=*/true, g);
+    MemoryPool pool;
+    Trainer t(std::move(c), g, features.clone(MemTag::kInput, &pool), Tensor{},
+              &pool);
+    return t.train_step(labels, /*lr=*/0.f).counters;
+  };
+  const PerfCounters on = step_counters(ours());
+  EXPECT_GT(on.specialized_fwd_edges, 0u);
+  EXPECT_GT(on.specialized_bwd_edges, 0u);  // the GCN gradient gather matches
+  const PerfCounters off = step_counters(ours_no_specialize());
+  EXPECT_EQ(off.specialized_edges(), 0u);
+  EXPECT_GT(off.interpreted_fwd_edges, 0u);
+  EXPECT_GT(off.interpreted_bwd_edges, 0u);
 }
 
 // --- structural mutations must fall back to the interpreter -----------------
@@ -265,10 +343,11 @@ TEST(Specialize, MatchesHandBuiltGcnShapeAtEveryWidth) {
 }
 
 TEST(Specialize, MutatedProgramsFallBackToInterpreter) {
-  // Edge-balanced mapping: reductions are atomic, no core applies.
+  // Edge-balanced mapping re-routes to the sum_eb matcher (same load/reduce
+  // shape, realized as the deterministic combine fold), not the walk core.
   EdgeProgram m1 = gcn_program(16);
   m1.mapping = WorkMapping::EdgeBalanced;
-  EXPECT_EQ(match_core(m1).kind, CoreKind::None);
+  EXPECT_EQ(match_core(m1).kind, CoreKind::SumEb);
 
   // Cross-orientation (boundary-combine) reduction.
   EdgeProgram m2 = gcn_program(16);
@@ -294,6 +373,229 @@ TEST(Specialize, MutatedProgramsFallBackToInterpreter) {
   EdgeProgram m6 = gcn_program(16);
   m6.phases[0].instrs[0].width = 8;
   EXPECT_EQ(match_core(m6).kind, CoreKind::None);
+}
+
+// --- backward and edge-balanced shapes: match + mutation fallback -----------
+
+/// The EdgeConv gradient program: argmax-replay gather with a center-side
+/// (sequential) and a neighbor-side (boundary) Sum.
+EdgeProgram maxbwd_program(std::int64_t w) {
+  EdgeProgram ep;
+  ep.phases.resize(1);
+  ep.phases[0].instrs = {
+      {EPOp::LoadV, 0, -1, -1, 0, -1, -1, 0.f, 1, w},
+      {EPOp::MaxBwdMask, 1, 0, -1, 1, -1, -1, 0.f, 1, w},
+      {EPOp::Reduce, -1, 1, -1, -1, -1, 0, 0.f, 1, w},
+      {EPOp::Reduce, -1, 1, -1, -1, -1, 1, 0.f, 1, w},
+  };
+  ep.vertex_outputs = {
+      {2, static_cast<std::uint8_t>(ReduceFn::Sum), w, 0, false, false, false},
+      {3, static_cast<std::uint8_t>(ReduceFn::Sum), w, 0, true, true, false}};
+  ep.num_regs = 2;
+  ep.reg_width = {w, w};
+  return ep;
+}
+
+TEST(Specialize, MatchesMaxBwdGatherAndRecordsReduceRoles) {
+  for (const auto& [w, tw] : std::vector<std::pair<std::int64_t, int>>{
+           {64, 64}, {48, 0}}) {
+    const CoreBinding cb = match_core(maxbwd_program(w));
+    ASSERT_EQ(cb.kind, CoreKind::MaxBwdGather) << "w=" << w;
+    EXPECT_EQ(cb.template_width, tw) << "w=" << w;
+    EXPECT_EQ(cb.seq_out, 0);
+    EXPECT_EQ(cb.boundary_out, 1);
+    EXPECT_TRUE(cb.has_boundary());
+  }
+  EXPECT_EQ(match_core(maxbwd_program(64)).label(), "maxbwd_gather/w64");
+}
+
+TEST(Specialize, MutatedMaxBwdProgramsFallBack) {
+  // Second reduce folds a different register than the mask.
+  EdgeProgram m1 = maxbwd_program(16);
+  m1.phases[0].instrs[3].a = 0;
+  EXPECT_EQ(match_core(m1).kind, CoreKind::None);
+
+  // Both reductions sequential: not the dual-reduce layout.
+  EdgeProgram m2 = maxbwd_program(16);
+  m2.vertex_outputs[1].reverse = false;
+  EXPECT_EQ(match_core(m2).kind, CoreKind::None);
+
+  // Boundary reduction is Max, which boundary combines don't support.
+  EdgeProgram m3 = maxbwd_program(16);
+  m3.vertex_outputs[1].rfn = static_cast<std::uint8_t>(ReduceFn::Max);
+  EXPECT_EQ(match_core(m3).kind, CoreKind::None);
+
+  // A materialized edge output disqualifies the shape.
+  EdgeProgram m4 = maxbwd_program(16);
+  m4.edge_outputs.push_back({4, 16});
+  EXPECT_EQ(match_core(m4).kind, CoreKind::None);
+
+  // Output widths disagree.
+  EdgeProgram m5 = maxbwd_program(16);
+  m5.vertex_outputs[1].width = 8;
+  EXPECT_EQ(match_core(m5).kind, CoreKind::None);
+}
+
+/// The GAT score-gradient program: mask/sub/leaky_relu_grad chain, boundary
+/// (src-side) reduce listed before the sequential (dst-side) one — the
+/// matcher must record the roles by layout, not by position.
+EdgeProgram gat_scorebwd_program(std::int64_t h) {
+  EdgeProgram ep;
+  ep.phases.resize(1);
+  ep.phases[0].instrs = {
+      {EPOp::LoadE, 0, -1, -1, 0, -1, -1, 0.f, 1, h},
+      {EPOp::LoadV, 1, -1, -1, 1, -1, -1, 0.f, 1, h},
+      {EPOp::MaxBwdMask, 2, 1, -1, 2, -1, -1, 0.f, 1, h},
+      {EPOp::Sub, 3, 0, 2, -1, -1, -1, 0.f, 1, h},
+      {EPOp::LoadE, 4, -1, -1, 3, -1, -1, 0.f, 1, h},
+      {EPOp::LeakyReLUGrad, 5, 3, 4, -1, -1, -1, 0.2f, 1, h},
+      {EPOp::Reduce, -1, 5, -1, -1, -1, 0, 0.f, 1, h},
+      {EPOp::Reduce, -1, 5, -1, -1, -1, 1, 0.f, 1, h},
+  };
+  ep.vertex_outputs = {
+      {6, static_cast<std::uint8_t>(ReduceFn::Sum), h, 0, true, true, false},
+      {7, static_cast<std::uint8_t>(ReduceFn::Sum), h, 0, false, false, false}};
+  ep.num_regs = 6;
+  ep.reg_width = {h, h, h, h, h, h};
+  return ep;
+}
+
+TEST(Specialize, MatchesGatScoreBwd) {
+  const CoreBinding cb = match_core(gat_scorebwd_program(2));
+  ASSERT_EQ(cb.kind, CoreKind::GatScoreBwd);
+  EXPECT_EQ(cb.seq_out, 1);       // layout, not listing order
+  EXPECT_EQ(cb.boundary_out, 0);
+  EXPECT_EQ(cb.alpha, 0.2f);
+  EXPECT_EQ(cb.label(), "gat_scorebwd/dyn");  // h=2 has no width template
+}
+
+TEST(Specialize, MutatedGatScoreBwdProgramsFallBack) {
+  // Sub operands swapped: mask - eg is a different expression.
+  EdgeProgram m1 = gat_scorebwd_program(2);
+  std::swap(m1.phases[0].instrs[3].a, m1.phases[0].instrs[3].b);
+  EXPECT_EQ(match_core(m1).kind, CoreKind::None);
+
+  // Grad gate reads the masked value instead of the raw score.
+  EdgeProgram m2 = gat_scorebwd_program(2);
+  m2.phases[0].instrs[5].b = 2;
+  EXPECT_EQ(match_core(m2).kind, CoreKind::None);
+
+  // Plain LeakyReLU is not its own gradient.
+  EdgeProgram m3 = gat_scorebwd_program(2);
+  m3.phases[0].instrs[5].op = EPOp::LeakyReLU;
+  EXPECT_EQ(match_core(m3).kind, CoreKind::None);
+
+  // Wide head rows stay interpreted: the recompute combine loses to the
+  // stash past h = 8 (measured on bench_micro_kernels).
+  EXPECT_EQ(match_core(gat_scorebwd_program(16)).kind, CoreKind::None);
+}
+
+/// The MoNet gradient program (src-major): gaussian weights and per-kernel
+/// dots stashed to edge outputs plus a sequential weighted gather.
+EdgeProgram gauss_bwd_program(std::int64_t k, std::int64_t f) {
+  const std::int64_t w = k * f;
+  EdgeProgram ep;
+  ep.dst_major = false;
+  ep.phases.resize(1);
+  ep.phases[0].instrs = {
+      {EPOp::LoadE, 0, -1, -1, 0, -1, -1, 0.f, 1, 2},
+      {EPOp::Gauss, 1, 0, -1, 1, 2, -1, 0.f, 1, k},
+      {EPOp::StoreE, -1, 1, -1, 3, -1, -1, 0.f, 1, k},
+      {EPOp::LoadV, 2, -1, -1, 4, -1, -1, 0.f, 1, w},
+      {EPOp::LoadU, 3, -1, -1, 5, -1, -1, 0.f, 1, w},
+      {EPOp::DotHead, 4, 2, 3, -1, -1, -1, 0.f, k, k},
+      {EPOp::StoreE, -1, 4, -1, 6, -1, -1, 0.f, 1, k},
+      {EPOp::MulHead, 5, 2, 1, -1, -1, -1, 0.f, k, w},
+      {EPOp::Reduce, -1, 5, -1, -1, -1, 0, 0.f, 1, w},
+  };
+  ep.vertex_outputs = {
+      {7, static_cast<std::uint8_t>(ReduceFn::Sum), w, 0, true, false, false}};
+  ep.edge_outputs = {{3, k}, {6, k}};
+  ep.num_regs = 6;
+  ep.reg_width = {2, k, w, w, k, w};
+  return ep;
+}
+
+TEST(Specialize, MatchesGaussBwd) {
+  const CoreBinding cb = match_core(gauss_bwd_program(2, 64));
+  ASSERT_EQ(cb.kind, CoreKind::GaussBwd);
+  EXPECT_EQ(cb.heads, 2);
+  EXPECT_EQ(cb.hot_width, 64);  // per-kernel feature width
+  EXPECT_EQ(cb.template_width, 64);
+  EXPECT_FALSE(cb.has_boundary());  // everything is center-side
+  EXPECT_EQ(cb.label(), "gauss_bwd/w64");
+}
+
+TEST(Specialize, MutatedGaussBwdProgramsFallBack) {
+  // A store targets a tensor that is not a declared edge output.
+  EdgeProgram m1 = gauss_bwd_program(2, 16);
+  m1.phases[0].instrs[2].tensor = 9;
+  EXPECT_EQ(match_core(m1).kind, CoreKind::None);
+
+  // The reduction becomes a boundary (combine would be required).
+  EdgeProgram m2 = gauss_bwd_program(2, 16);
+  m2.vertex_outputs[0].reverse = false;  // src-major: reverse IS sequential
+  EXPECT_EQ(match_core(m2).kind, CoreKind::None);
+
+  // MulHead weights by the dots instead of the gaussian weights.
+  EdgeProgram m3 = gauss_bwd_program(2, 16);
+  m3.phases[0].instrs[7].b = 4;
+  EXPECT_EQ(match_core(m3).kind, CoreKind::None);
+
+  // Head-count mismatch between Gauss and DotHead.
+  EdgeProgram m4 = gauss_bwd_program(2, 16);
+  m4.phases[0].instrs[5].heads = 4;
+  EXPECT_EQ(match_core(m4).kind, CoreKind::None);
+}
+
+/// The edge-balanced Sum gather (gcn_program re-mapped), target side `rev`.
+EdgeProgram sum_eb_program(std::int64_t w, bool rev) {
+  EdgeProgram ep = gcn_program(w);
+  ep.mapping = WorkMapping::EdgeBalanced;
+  ep.vertex_outputs[0].atomic = true;
+  if (rev) {
+    ep.vertex_outputs[0].reverse = true;
+    ep.phases[0].instrs[0].op = EPOp::LoadV;  // contributions from dst rows
+  }
+  return ep;
+}
+
+TEST(Specialize, MatchesSumEbBothOrientations) {
+  for (const bool rev : {false, true}) {
+    const CoreBinding cb = match_core(sum_eb_program(64, rev));
+    ASSERT_EQ(cb.kind, CoreKind::SumEb) << "rev=" << rev;
+    EXPECT_EQ(cb.template_width, 64);
+    EXPECT_FALSE(cb.has_boundary());
+  }
+  EXPECT_EQ(match_core(sum_eb_program(64, false)).label(), "sum_eb/w64");
+  EXPECT_EQ(match_core(sum_eb_program(48, false)).label(), "sum_eb/dyn");
+}
+
+TEST(Specialize, MutatedSumEbProgramsFallBack) {
+  // Load reads the target endpoint instead of the contributing one.
+  EdgeProgram m1 = sum_eb_program(16, false);
+  m1.phases[0].instrs[0].op = EPOp::LoadV;
+  EXPECT_EQ(match_core(m1).kind, CoreKind::None);
+
+  // Two outputs: the single-fold core does not apply.
+  EdgeProgram m2 = sum_eb_program(16, false);
+  m2.vertex_outputs.push_back(m2.vertex_outputs[0]);
+  EXPECT_EQ(match_core(m2).kind, CoreKind::None);
+
+  // An edge output disqualifies the shape.
+  EdgeProgram m3 = sum_eb_program(16, false);
+  m3.edge_outputs.push_back({2, 16});
+  EXPECT_EQ(match_core(m3).kind, CoreKind::None);
+
+  // An extra arithmetic instruction breaks the pure-gather pattern.
+  EdgeProgram m4 = sum_eb_program(16, false);
+  m4.phases[0].instrs.insert(
+      m4.phases[0].instrs.begin() + 1,
+      EPInstr{EPOp::Neg, 1, 0, -1, -1, -1, -1, 0.f, 1, 16});
+  m4.phases[0].instrs[2].a = 1;
+  m4.num_regs = 2;
+  m4.reg_width = {16, 16};
+  EXPECT_EQ(match_core(m4).kind, CoreKind::None);
 }
 
 }  // namespace

@@ -52,6 +52,7 @@ struct Options {
   unsigned seed = 42;
   bool specialize = true;    ///< bind specialized kernel cores (--no-specialize)
   bool pipeline = true;      ///< pipelined sharded execution (--no-pipeline)
+  bool transport = true;     ///< message-passing cross-shard flows (--no-transport)
   bool json = true;          ///< emit BENCH_<name>.json
   std::string json_dir = "."; ///< where to write it
   std::string dump_ir;       ///< write one DOT file per pipeline stage here
@@ -72,6 +73,7 @@ struct Options {
       if (const char* v = val("--dump-ir")) o.dump_ir = v;
       if (std::strcmp(argv[i], "--no-specialize") == 0) o.specialize = false;
       if (std::strcmp(argv[i], "--no-pipeline") == 0) o.pipeline = false;
+      if (std::strcmp(argv[i], "--no-transport") == 0) o.transport = false;
       if (std::strcmp(argv[i], "--no-json") == 0) o.json = false;
       if (std::strcmp(argv[i], "--full") == 0) {
         o.scale = 1.0;
@@ -147,6 +149,12 @@ inline std::shared_ptr<const Compiled> engine_compile(
     // Barriered-sharded ablation run; same cache-key reasoning as above.
     co.strategy.pipeline = false;
     co.strategy.name += "(-pipeline)";
+  }
+  if (!opt.transport && co.strategy.transport) {
+    // Direct-memory ablation run (no shard fabric, no ParamServer); same
+    // cache-key reasoning as above.
+    co.strategy.transport = false;
+    co.strategy.name += "(-transport)";
   }
   co.shards = opt.shards;
   co.init_seed = opt.seed + 1;
@@ -334,6 +342,8 @@ class JsonReport {
           "\"combine_overlap_ns\": %llu, "
           "\"boundary_stash_bytes\": %llu, "
           "\"boundary_stash_saved_bytes\": %llu, "
+          "\"transport_msgs\": %llu, \"transport_bytes\": %llu, "
+          "\"param_push_bytes\": %llu, \"param_pull_bytes\": %llu, "
           "\"shards\": %d, \"shard_peak_bytes\": %zu, "
           "\"speedup\": %.4f, \"mem_ratio\": %.4f%s%s}%s\n",
           r.workload.c_str(), r.strategy.c_str(), r.m.seconds,
@@ -357,6 +367,10 @@ class JsonReport {
           static_cast<unsigned long long>(r.m.counters.boundary_stash_bytes),
           static_cast<unsigned long long>(
               r.m.counters.boundary_stash_saved_bytes),
+          static_cast<unsigned long long>(r.m.counters.transport_msgs),
+          static_cast<unsigned long long>(r.m.counters.transport_bytes),
+          static_cast<unsigned long long>(r.m.counters.param_push_bytes),
+          static_cast<unsigned long long>(r.m.counters.param_pull_bytes),
           r.m.shards, r.m.shard_peak_bytes, speedup, mem_ratio,
           r.extra.empty() ? "" : ", ", r.extra.c_str(),
           i + 1 < rows_.size() ? "," : "");

@@ -15,6 +15,7 @@
 // --scale shrinks the graph for smoke runs (CI uses --scale<=0.01);
 // --edges=N overrides the pre-scale edge-count target (default 4M).
 #include <cmath>
+#include <thread>
 
 #include "bench_common.h"
 #include "graph/generators.h"
@@ -96,10 +97,16 @@ int main(int argc, char** argv) {
     const Measurement off = run(barriered, k);
     const Measurement on = run(pipelined, k);
     const std::string suffix = " K=" + std::to_string(k);
-    rep.row(workload, "barrier" + suffix, off, off,
-            "\"k\": " + std::to_string(k) + ", \"pipeline\": false");
-    rep.row(workload, "pipelined" + suffix, on, off,
-            "\"k\": " + std::to_string(k) + ", \"pipeline\": true");
+    // Overlap turns into wall-clock only with a spare core per shard task;
+    // stated explicitly so CI gates read the row instead of inferring the
+    // host shape from counter heuristics.
+    const bool overlap_effective =
+        std::thread::hardware_concurrency() > static_cast<unsigned>(k);
+    const std::string common =
+        "\"k\": " + std::to_string(k) + ", \"overlap_effective\": " +
+        (overlap_effective ? "true" : "false") + ", \"pipeline\": ";
+    rep.row(workload, "barrier" + suffix, off, off, common + "false");
+    rep.row(workload, "pipelined" + suffix, on, off, common + "true");
   }
   print_footnote(opt);
   rep.write();

@@ -61,6 +61,12 @@ struct Strategy {
   /// On for every preset — output is bit-identical either way — with
   /// ours_no_pipeline() as the ablation point (barrier + post-join combine).
   bool pipeline = true;
+  /// Route cross-shard flows through the transport layer (src/transport/):
+  /// pipelined boundary publishes become channel sends and parameter updates
+  /// go through a ParamServer the Trainer pushes/pulls. On for every preset —
+  /// in-process delivery keeps output bit-identical — with
+  /// ours_no_transport() as the ablation point (direct shared memory).
+  bool transport = true;
 };
 
 Strategy dgl_like();
@@ -73,6 +79,7 @@ Strategy ours_fusion_stash();  ///< fusion without recomputation (Fig. 10 middle
 Strategy ours_no_optimize();   ///< generic optimizer off (compile-cost ablation)
 Strategy ours_no_specialize(); ///< interpreter-only edge programs (kernel-core ablation)
 Strategy ours_no_pipeline();   ///< barriered sharded execution (pipeline ablation)
+Strategy ours_no_transport();  ///< direct-memory exchange + in-Trainer updates
 
 /// Compile-phase accounting: per-pass wall time (from the PassManager) plus
 /// the ExecutionPlan build time. The benchmark harness reports this

@@ -21,9 +21,21 @@ PipelineSchedule::PipelineSchedule(const Partitioning& part) {
   }
 }
 
+PipelineRun::PipelineRun(const PipelineSchedule& sched)
+    : sched_(sched), pending_(sched.num_shards()) {
+  for (int s = 0; s < sched_.num_shards(); ++s)
+    pending_[s].store(sched_.init_pending(s), std::memory_order_relaxed);
+}
+
 PipelineRun::PipelineRun(const PipelineSchedule& sched,
                          std::function<void(int)> combine)
-    : sched_(sched), combine_(std::move(combine)), pending_(sched.num_shards()) {
+    : PipelineRun(sched) {
+  combine_ = std::move(combine);
+}
+
+void PipelineRun::begin(std::function<void(int)> fire) {
+  combine_ = std::move(fire);
+  fired_.store(0, std::memory_order_relaxed);
   for (int s = 0; s < sched_.num_shards(); ++s)
     pending_[s].store(sched_.init_pending(s), std::memory_order_relaxed);
 }
@@ -51,7 +63,8 @@ bool PipelineRun::all_done() const {
 PipelineTiming run_pipelined(const Partitioning& part,
                              const PipelineSchedule& sched,
                              const PipelineSpanFn& walk,
-                             const PipelineSpanFn& combine, bool has_combine) {
+                             const PipelineSpanFn& combine, bool has_combine,
+                             PipelinePublisher* publisher) {
   const int k = part.num_shards();
   PipelineTiming tm;
   tm.walk_s.assign(k, 0.0);
@@ -60,7 +73,9 @@ PipelineTiming run_pipelined(const Partitioning& part,
   std::vector<double> fc_lo(k, 0.0), fc_hi(k, 0.0);  // frontier-combine spans
   std::vector<double> ic_lo(k, 0.0), ic_hi(k, 0.0);  // interior-combine spans
   std::vector<double> pub(k, 0.0);                   // full-walk publish times
-  PipelineRun run(sched, [&](int s) {
+  PipelineRun local(sched);
+  PipelinePublisher& run = publisher ? *publisher : local;
+  run.begin([&](int s) {
     if (!has_combine) return;  // nothing to fold, and no span to record
     const Shard& sh = part.shard(s);
     const double t0 = ref.seconds();

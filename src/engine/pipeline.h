@@ -72,20 +72,47 @@ struct PipelineTiming {
   double overlap_s = 0.0;
 };
 
+/// How shard progress reaches the combine dependency tracker. The default
+/// implementation (PipelineRun) decrements atomic counters directly; the
+/// transport-backed implementation (transport::BoundaryExchange) turns each
+/// publish into per-neighbor channel sends whose delivery performs the same
+/// decrement — identical firing semantics, but the crossing is now an
+/// explicit message a socket transport could carry. run_pipelined calls
+/// begin() once before the fan-out with the combine-fire callback, then
+/// publish_* from the shard tasks, then checks all_done() after the join.
+class PipelinePublisher {
+ public:
+  virtual ~PipelinePublisher() = default;
+  /// Arms the publisher for one program execution. `fire(s)` runs owner
+  /// shard s's combine; the publisher must invoke it exactly once per shard,
+  /// inline on the thread whose publish cleared the last dependency.
+  virtual void begin(std::function<void(int)> fire) = 0;
+  /// Shard s finished walking its frontier slice.
+  virtual void publish_frontier(int s) = 0;
+  /// Shard s finished its full walk.
+  virtual void publish_full(int s) = 0;
+  /// Every combine fired (valid after the walk fan-out joins).
+  virtual bool all_done() const = 0;
+};
+
 /// Generic frontier-first pipelined fan-out: one pool task per shard runs
 /// `walk` over the shard's frontier list, publishes, runs `walk` over its
 /// interior list, publishes again, then runs `combine` over its interior
 /// targets inline (their contributors are all local). Each owner shard's
-/// frontier `combine` fires through PipelineRun the instant its dependency
+/// frontier `combine` fires through the publisher the instant its dependency
 /// set clears, on whichever thread completed it. Both the interpreter and the
 /// specialized-core sharded runners (engine/vm.cc) execute through this
 /// skeleton, so specialized backward cores compose with pipelined execution
 /// by construction. `has_combine` = false skips every combine call (the
 /// frontier-first walk order is still used; output is order-invariant).
+/// `publisher` = nullptr uses a plain PipelineRun; passing a
+/// transport-backed publisher routes the signals through channel sends
+/// without changing when or where combines execute.
 PipelineTiming run_pipelined(const Partitioning& part,
                              const PipelineSchedule& sched,
                              const PipelineSpanFn& walk,
-                             const PipelineSpanFn& combine, bool has_combine);
+                             const PipelineSpanFn& combine, bool has_combine,
+                             PipelinePublisher* publisher = nullptr);
 
 /// Per-execution ready-flag state: one atomic pending counter per owner
 /// shard, decremented by publishes. The publish that brings a counter to zero
@@ -96,20 +123,27 @@ PipelineTiming run_pipelined(const Partitioning& part,
 /// observes all stash/output writes made before each contributing publish
 /// (release sequence on the counter). This is the entire synchronization
 /// story — no locks, and TSan-clean by construction.
-class PipelineRun {
+class PipelineRun : public PipelinePublisher {
  public:
+  /// Deferred arming: combine callback arrives via begin().
+  explicit PipelineRun(const PipelineSchedule& sched);
   PipelineRun(const PipelineSchedule& sched, std::function<void(int)> combine);
 
+  /// (Re)arms the counters and installs the combine-fire callback.
+  void begin(std::function<void(int)> fire) override;
   /// Shard s finished walking its frontier slice: signal every dependent
   /// owner shard's combine.
-  void publish_frontier(int s);
+  void publish_frontier(int s) override;
   /// Shard s finished its full walk: signal s's own combine.
-  void publish_full(int s);
+  void publish_full(int s) override;
   /// All combines fired (valid after the walk fan-out joins).
-  bool all_done() const;
+  bool all_done() const override;
+
+  /// Exposed for transport-backed publishers, whose message deliveries must
+  /// perform the identical decrement-and-maybe-fire step.
+  void signal(int target);
 
  private:
-  void signal(int target);
 
   const PipelineSchedule& sched_;
   std::function<void(int)> combine_;

@@ -5,6 +5,7 @@
 #include "support/counters.h"
 #include "support/macros.h"
 #include "support/timer.h"
+#include "transport/exchange.h"
 
 namespace triad {
 
@@ -35,7 +36,7 @@ MemTag tag_of(const Node& n, int last_consumer, int backward_start) {
 ExecutionPlan ExecutionPlan::compile(IrGraph ir, std::int64_t num_vertices,
                                      std::int64_t num_edges,
                                      const Partitioning* part, bool specialize,
-                                     bool pipeline) {
+                                     bool pipeline, bool transport) {
   Timer timer;
   ir.validate(num_vertices, num_edges);
   if (part != nullptr) {
@@ -250,6 +251,7 @@ ExecutionPlan ExecutionPlan::compile(IrGraph ir, std::int64_t num_vertices,
 
   p.ir_ = std::move(ir);
   p.pipeline_ = pipeline;
+  p.transport_ = transport;
   p.compile_seconds_ = timer.seconds();
   ++global_counters().plan_compiles;
   return p;
@@ -257,9 +259,10 @@ ExecutionPlan ExecutionPlan::compile(IrGraph ir, std::int64_t num_vertices,
 
 std::shared_ptr<const ExecutionPlan> ExecutionPlan::compile_shared(
     IrGraph ir, std::int64_t num_vertices, std::int64_t num_edges,
-    const Partitioning* part, bool specialize, bool pipeline) {
-  return std::make_shared<const ExecutionPlan>(compile(
-      std::move(ir), num_vertices, num_edges, part, specialize, pipeline));
+    const Partitioning* part, bool specialize, bool pipeline, bool transport) {
+  return std::make_shared<const ExecutionPlan>(
+      compile(std::move(ir), num_vertices, num_edges, part, specialize,
+              pipeline, transport));
 }
 
 std::size_t ExecutionPlan::max_shard_peak_bytes() const {
@@ -286,6 +289,8 @@ PlanRunner::PlanRunner(const Graph& graph,
   aux_.resize(plan_->size());
 }
 
+PlanRunner::~PlanRunner() = default;
+
 void PlanRunner::set_partitioning(const Partitioning* part) {
   if (part != nullptr) {
     TRIAD_CHECK_EQ(part->num_vertices(), graph_.num_vertices(),
@@ -299,6 +304,12 @@ void PlanRunner::set_partitioning(const Partitioning* part) {
   pipeline_sched_ = (part != nullptr && plan_->pipeline())
                         ? std::make_unique<PipelineSchedule>(*part)
                         : nullptr;
+  // Likewise the shard fabric: its exchange plan depends only on the graph
+  // and the partitioning. Transport signaling rides the pipelined publishes,
+  // so without a pipeline schedule there is nothing for it to carry.
+  shard_tx_ = (pipeline_sched_ != nullptr && plan_->transport())
+                  ? std::make_unique<transport::ShardTransport>(graph_, *part)
+                  : nullptr;
 }
 
 void PlanRunner::bind(int node, Tensor t) {
@@ -562,7 +573,7 @@ void PlanRunner::exec_fused(const Node& n) {
   const bool backward = n.id >= plan_->forward_end();
   if (partition_ != nullptr) {
     run_edge_program_sharded(graph_, *partition_, ep, b, core,
-                             pipeline_sched_.get(), backward);
+                             pipeline_sched_.get(), backward, shard_tx_.get());
   } else {
     run_edge_program(graph_, ep, b, core, backward);
   }

@@ -72,16 +72,21 @@ class ExecutionPlan {
   /// (see engine/specialize.h); false pins everything to the interpreter (the
   /// ablation knob). `pipeline` selects dependency-driven sharded execution
   /// (frontier-first walks + overlapped combine, see engine/pipeline.h);
-  /// false keeps the barrier path — output is bit-identical either way. The
+  /// false keeps the barrier path — output is bit-identical either way.
+  /// `transport` routes the cross-shard flows through the message-passing
+  /// layer (src/transport/): pipelined boundary signaling over a shard
+  /// fabric, parameter updates through a ParamServer; false keeps direct
+  /// shared memory (the --no-transport ablation). Also bit-identical. The
   /// plan is immutable afterwards.
   static ExecutionPlan compile(IrGraph ir, std::int64_t num_vertices,
                                std::int64_t num_edges,
                                const Partitioning* part = nullptr,
-                               bool specialize = true, bool pipeline = true);
+                               bool specialize = true, bool pipeline = true,
+                               bool transport = true);
   static std::shared_ptr<const ExecutionPlan> compile_shared(
       IrGraph ir, std::int64_t num_vertices, std::int64_t num_edges,
       const Partitioning* part = nullptr, bool specialize = true,
-      bool pipeline = true);
+      bool pipeline = true, bool transport = true);
 
   ExecutionPlan(ExecutionPlan&&) = default;
   ExecutionPlan& operator=(ExecutionPlan&&) = default;
@@ -124,6 +129,9 @@ class ExecutionPlan {
   /// Whether sharded execution runs the dependency-driven pipeline.
   bool pipeline() const { return pipeline_; }
 
+  /// Whether cross-shard flows go through the transport layer.
+  bool transport() const { return transport_; }
+
   /// Core binding selected for edge program `program` (kind == None when the
   /// matcher declined it or the plan was compiled with specialize=false).
   const CoreBinding& core(int program) const { return cores_[program]; }
@@ -145,14 +153,20 @@ class ExecutionPlan {
   std::vector<CoreBinding> cores_;  ///< per-program, parallel to ir().programs
   double compile_seconds_ = 0.0;
   bool pipeline_ = true;
+  bool transport_ = true;
 };
 
 /// Per-request execution state over a shared immutable plan. Replaces the
 /// run-time half of the old Executor; all analysis lives in ExecutionPlan.
+namespace transport {
+class ShardTransport;
+}  // namespace transport
+
 class PlanRunner {
  public:
   PlanRunner(const Graph& graph, std::shared_ptr<const ExecutionPlan> plan,
              MemoryPool* pool = &global_pool_mem());
+  ~PlanRunner();  ///< out of line: ShardTransport is incomplete here
 
   /// Binds an externally owned tensor to an Input or Param node. Bound
   /// tensors persist across run() calls (training epochs / requests).
@@ -206,6 +220,9 @@ class PlanRunner {
   /// Combine-dependency schedule for the installed partitioning; built by
   /// set_partitioning when the plan compiled with pipeline=true.
   std::unique_ptr<PipelineSchedule> pipeline_sched_;
+  /// Shard fabric for the installed partitioning; built by set_partitioning
+  /// when the plan compiled with transport=true (and pipelines).
+  std::unique_ptr<transport::ShardTransport> shard_tx_;
 
   std::vector<Tensor> slots_;
   std::vector<IntTensor> aux_;

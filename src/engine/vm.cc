@@ -5,9 +5,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "engine/pipeline.h"
+#include "transport/exchange.h"
 #include "support/counters.h"
 #include "support/macros.h"
 #include "support/parallel.h"
@@ -804,19 +806,33 @@ void run_sharded_core_barrier(const Graph& g, const Partitioning& part,
   }
 }
 
+/// Wire size of one boundary stash row: every non-sequential output's width,
+/// in floats — what a frontier publish hands per cut edge to the consuming
+/// shard's combine (and what a socket transport would serialize).
+std::size_t boundary_row_bytes(const EdgeProgram& ep) {
+  std::size_t bytes = 0;
+  for (const VertexOutput& vo : ep.vertex_outputs)
+    if (!sequential_reduce(ep, vo))
+      bytes += static_cast<std::size_t>(vo.width) * sizeof(float);
+  return bytes;
+}
+
 }  // namespace
 
 void run_edge_program_sharded(const Graph& g, const Partitioning& part,
                               const EdgeProgram& ep, const VmBindings& b,
                               const CoreBinding* core,
                               const PipelineSchedule* pipeline,
-                              bool backward) {
+                              bool backward,
+                              transport::ShardTransport* transport) {
   check_program(ep);
   TRIAD_CHECK_EQ(part.num_vertices(), g.num_vertices(),
                  "partitioning built for a different graph");
 
   const int k = part.num_shards();
   PerfCounters& c = global_counters();
+  const transport::TransportStats tx0 =
+      transport != nullptr ? transport->stats() : transport::TransportStats{};
   std::vector<double> walk_s(k, 0.0), comb_s(k, 0.0);
   if (core != nullptr && core->specialized()) {
     // Specialized path: shard-per-pool-task like the interpreter. Bindings
@@ -828,6 +844,10 @@ void run_edge_program_sharded(const Graph& g, const Partitioning& part,
     if (pipeline != nullptr && ep.mapping == WorkMapping::VertexBalanced) {
       TRIAD_CHECK_EQ(pipeline->num_shards(), k,
                      "pipeline schedule built for a different partitioning");
+      std::unique_ptr<transport::BoundaryExchange> bx;
+      if (transport != nullptr)
+        bx = std::make_unique<transport::BoundaryExchange>(
+            *transport, *pipeline, ep.dst_major, boundary_row_bytes(ep));
       const PipelineTiming tm = run_pipelined(
           part, *pipeline,
           [&](int, const std::int32_t* list, std::int64_t count) {
@@ -836,7 +856,7 @@ void run_edge_program_sharded(const Graph& g, const Partitioning& part,
           [&](int, const std::int32_t* list, std::int64_t count) {
             run_core_combine_span(g, ep, *core, args, list, count, 0, 0);
           },
-          core->has_boundary());
+          core->has_boundary(), bx.get());
       walk_s = tm.walk_s;
       comb_s = tm.comb_s;
       charge_pipelined(part, ep, tm);
@@ -849,6 +869,10 @@ void run_edge_program_sharded(const Graph& g, const Partitioning& part,
     if (pipeline != nullptr && ep.mapping == WorkMapping::VertexBalanced) {
       TRIAD_CHECK_EQ(pipeline->num_shards(), k,
                      "pipeline schedule built for a different partitioning");
+      std::unique_ptr<transport::BoundaryExchange> bx;
+      if (transport != nullptr)
+        bx = std::make_unique<transport::BoundaryExchange>(
+            *transport, *pipeline, ep.dst_major, boundary_row_bytes(ep));
       const PipelineTiming tm = run_pipelined(
           part, *pipeline,
           [&](int, const std::int32_t* list, std::int64_t count) {
@@ -857,7 +881,7 @@ void run_edge_program_sharded(const Graph& g, const Partitioning& part,
           [&](int, const std::int32_t* list, std::int64_t count) {
             combine_boundary_targets(g, ep, rp, list, count, 0, 0);
           },
-          rp.has_boundary);
+          rp.has_boundary, bx.get());
       walk_s = tm.walk_s;
       comb_s = tm.comb_s;
       charge_pipelined(part, ep, tm);
@@ -889,6 +913,13 @@ void run_edge_program_sharded(const Graph& g, const Partitioning& part,
     charge_program(sh.num_vertices(), m_s, ep);
   }
   charge_sharded_combine(part, ep);
+  if (transport != nullptr) {
+    // Fabric counters are fabric-wide atomics fed from pool threads; charge
+    // the run's delta here, post-join, into the caller's thread-local ledger.
+    const transport::TransportStats tx1 = transport->stats();
+    c.transport_msgs += tx1.messages - tx0.messages;
+    c.transport_bytes += tx1.bytes - tx0.bytes;
+  }
 }
 
 }  // namespace triad

@@ -38,6 +38,10 @@
 
 namespace triad {
 
+namespace transport {
+class ShardTransport;
+}  // namespace transport
+
 /// Tensor environment the VM reads from / writes to, keyed by IR node id.
 struct VmBindings {
   std::function<const Tensor&(int)> tensor;  ///< inputs (vertex/edge/param)
@@ -78,10 +82,19 @@ class PipelineSchedule;
 /// the interpreter does. Edge-balanced programs keep the barrier. Output is
 /// bit-identical either way. `backward` selects the fwd/bwd counter split as
 /// in run_edge_program.
+///
+/// `transport`: optional shard fabric (must match `part`). Non-null routes
+/// the pipelined path's publish/combine signaling through transport messages
+/// (transport::BoundaryExchange) instead of bare counters — same firing
+/// threads, same fold order, bit-identical output — and charges the fabric's
+/// message/byte delta to PerfCounters::transport_{msgs,bytes}. Ignored on
+/// the barrier and edge-balanced paths (those stay direct shared-memory: the
+/// --no-transport ablation baseline).
 void run_edge_program_sharded(const Graph& g, const Partitioning& part,
                               const EdgeProgram& ep, const VmBindings& b,
                               const CoreBinding* core = nullptr,
                               const PipelineSchedule* pipeline = nullptr,
-                              bool backward = false);
+                              bool backward = false,
+                              transport::ShardTransport* transport = nullptr);
 
 }  // namespace triad

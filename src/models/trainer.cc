@@ -2,6 +2,7 @@
 
 #include "support/timer.h"
 #include "tensor/ops.h"
+#include "transport/param_server.h"
 
 namespace triad {
 
@@ -31,8 +32,21 @@ Trainer::Trainer(std::shared_ptr<const Compiled> model, const Graph& graph,
     weights_.push_back(model_->init[i].clone(MemTag::kWeights, pool));
     runner_.bind(model_->params[i], weights_.back());
   }
+  if (!model_->param_grads.empty() && runner_.plan().transport()) {
+    // The server gets its own clones of the initial weights — identical
+    // values to weights_, so pushed updates land bit-for-bit where the old
+    // in-place update would have put them.
+    std::vector<Tensor> server_params;
+    server_params.reserve(model_->init.size());
+    for (const Tensor& w : model_->init)
+      server_params.push_back(w.clone(MemTag::kWeights, pool));
+    param_server_ = std::make_unique<transport::ParamServer>(
+        std::move(server_params), pool);
+  }
   if (model_->partition != nullptr) enable_sharding(model_->partition);
 }
+
+Trainer::~Trainer() = default;
 
 void Trainer::enable_sharding(std::shared_ptr<const Partitioning> part) {
   partition_ = std::move(part);
@@ -63,7 +77,16 @@ StepMetrics Trainer::train_step(const IntTensor& labels, float lr) {
   runner_.bind(model_->seed, std::move(seed));
   runner_.run_backward();
 
-  if (optimizer_ != nullptr) {
+  if (param_server_ != nullptr) {
+    // Transport path: the server applies the update (its optimizer or plain
+    // SGD) to its authoritative copies; pulling writes the fresh weights
+    // into weights_, whose storage the runner's param slots alias.
+    std::vector<const Tensor*> grads;
+    grads.reserve(weights_.size());
+    for (int gnode : model_->param_grads) grads.push_back(&runner_.result(gnode));
+    param_server_->push_grads(grads, lr);
+    param_server_->pull_params(weights_);
+  } else if (optimizer_ != nullptr) {
     std::vector<const Tensor*> grads;
     grads.reserve(weights_.size());
     for (int gnode : model_->param_grads) grads.push_back(&runner_.result(gnode));
@@ -103,6 +126,12 @@ StepMetrics Trainer::forward(const IntTensor& labels) {
 }
 
 void Trainer::set_optimizer(std::unique_ptr<Optimizer> opt) {
+  if (param_server_ != nullptr) {
+    // Optimizer state (momentum, Adam moments) lives with the parameters —
+    // on the server. attach() runs there, against the server's tensors.
+    param_server_->set_optimizer(std::move(opt));
+    return;
+  }
   optimizer_ = std::move(opt);
   if (optimizer_ != nullptr) optimizer_->attach(weights_);
 }

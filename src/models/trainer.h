@@ -22,6 +22,10 @@
 
 namespace triad {
 
+namespace transport {
+class ParamServer;
+}  // namespace transport
+
 struct StepMetrics {
   float loss = 0.f;
   double seconds = 0.0;
@@ -42,6 +46,7 @@ class Trainer {
   /// Owning convenience: wraps `model` into a shared artifact.
   Trainer(Compiled model, const Graph& graph, Tensor features,
           Tensor pseudo = {}, MemoryPool* pool = &global_pool_mem());
+  ~Trainer();  ///< out of line: ParamServer is incomplete here
 
   /// One full-batch training step (forward + loss + backward + SGD update).
   StepMetrics train_step(const IntTensor& labels, float lr = 1e-2f);
@@ -73,12 +78,20 @@ class Trainer {
   PlanRunner& executor() { return runner_; }  ///< legacy name for runner()
   const Compiled& model() const { return *model_; }
 
+  /// Param-server seam (src/transport/param_server.h). Non-null when the
+  /// model trains and its plan compiled with transport=true: the server owns
+  /// the authoritative weights and the optimizer, and train_step does
+  /// explicit push_grads/pull_params instead of updating in place. Null
+  /// (--no-transport, or inference-only) keeps the direct in-place update.
+  transport::ParamServer* param_server() { return param_server_.get(); }
+
  private:
   std::shared_ptr<const Compiled> model_;
   PlanRunner runner_;
   std::shared_ptr<const Partitioning> partition_;  // null = unsharded
   std::vector<Tensor> weights_;  // persistent parameter tensors
   std::unique_ptr<Optimizer> optimizer_;
+  std::unique_ptr<transport::ParamServer> param_server_;
 };
 
 }  // namespace triad

@@ -1,6 +1,7 @@
 #include "serve/host.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <exception>
 #include <utility>
@@ -35,6 +36,14 @@ struct ServingHost::Entry {
   ServerStats stats;
   double first_submit = -1;
   double last_done = 0;
+
+  /// Workers currently serving this model's batches. Claimed under the
+  /// host's mu_ in collect() (so the quota check and the claim are one
+  /// atomic step against other collectors), released lock-free in
+  /// finish_batch(). peak_active is only written under mu_ right after the
+  /// increment, so a plain relaxed store records the true maximum.
+  std::atomic<int> active{0};
+  std::atomic<int> peak_active{0};
 };
 
 ServingHost::ServingHost(HostConfig config) : config_(config) {
@@ -208,7 +217,10 @@ void ServingHost::worker_loop() {
   for (;;) {
     Batch batch;
     if (!collect(/*blocking=*/true, &batch)) return;  // closed and drained
-    if (!batch.items.empty()) serve_batch(*batch.entry, batch.items);
+    if (!batch.items.empty()) {
+      serve_batch(*batch.entry, batch.items);
+      finish_batch(*batch.entry);
+    }
   }
 }
 
@@ -217,7 +229,15 @@ bool ServingHost::pump() {
   collect(/*blocking=*/false, &batch);
   if (batch.items.empty()) return false;
   serve_batch(*batch.entry, batch.items);
+  finish_batch(*batch.entry);
   return true;
+}
+
+void ServingHost::finish_batch(Entry& e) {
+  e.active.fetch_sub(1, std::memory_order_release);
+  // A blocking collector may have skipped this model at quota and be sitting
+  // in its timed wait; wake one so the freed slot is reused promptly.
+  work_cv_.notify_one();
 }
 
 bool ServingHost::collect(bool blocking, Batch* out) {
@@ -235,14 +255,29 @@ bool ServingHost::collect(bool blocking, Batch* out) {
         });
       }
       const std::size_t n = entries_.size();
+      const int quota = config_.max_workers_per_model;
       for (std::size_t k = 0; k < n && e == nullptr; ++k) {
         const std::size_t idx = (rr_next_ + k) % n;
+        // Fairness quota: a model already at its worker cap is skipped even
+        // with work queued — the scan moves on so other models' queues get
+        // this worker. finish_batch() wakes a waiter when a slot frees.
+        if (quota > 0 &&
+            entries_[idx]->active.load(std::memory_order_relaxed) >= quota) {
+          continue;
+        }
         if (auto first = entries_[idx]->queue.try_pop()) {
           e = entries_[idx].get();
           out->items.clear();
           out->items.push_back(std::move(*first));
           if (queued_hint_ > 0) --queued_hint_;
           rr_next_ = (idx + 1) % n;
+          // Claim the worker slot while still under mu_, so no other
+          // collector can overshoot the quota between check and claim.
+          const int now =
+              e->active.fetch_add(1, std::memory_order_relaxed) + 1;
+          if (now > e->peak_active.load(std::memory_order_relaxed)) {
+            e->peak_active.store(now, std::memory_order_relaxed);
+          }
         }
       }
       if (e == nullptr) {
@@ -427,6 +462,7 @@ ServerStats ServingHost::snapshot(const Entry& e) const {
   }
   s.queue_depth = e.queue.size();
   s.pool_peak_bytes = e.pool.peak_bytes();
+  s.peak_workers = e.peak_active.load(std::memory_order_relaxed);
   s.latency = e.latency.snapshot();
   s.slo_shrinks = e.controller.shrinks();
   s.slo_grows = e.controller.grows();
@@ -462,6 +498,9 @@ HostStats ServingHost::stats() const {
     h.total.wall_seconds = std::max(h.total.wall_seconds, s.wall_seconds);
     h.total.queue_depth += s.queue_depth;
     h.total.pool_peak_bytes += s.pool_peak_bytes;
+    // Peaks of different models need not coincide in time; the max is the
+    // only honest aggregate.
+    h.total.peak_workers = std::max(h.total.peak_workers, s.peak_workers);
     h.total.counters += s.counters;
     // Percentiles do not compose across models; merge the composable part.
     h.total.latency.count += s.latency.count;

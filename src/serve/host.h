@@ -84,6 +84,11 @@ struct HostConfig {
   /// batches are then served only by explicit pump() calls (deterministic
   /// tests drive the host this way).
   int workers = 1;
+  /// Cap on workers concurrently serving any single model's batches;
+  /// 0 = unlimited. The fairness knob for the shared pool: one hot model can
+  /// saturate at most this many workers, leaving the rest free for other
+  /// models' queues. ServerStats::peak_workers observes the bound.
+  int max_workers_per_model = 0;
 };
 
 /// Per-model stats plus a cross-model aggregate. `total` sums the numeric
@@ -173,6 +178,9 @@ class ServingHost {
   /// the effective max-wait; pump() passes false (zero-wait, at most one
   /// scan). On true, out->items may still be empty (nothing ready).
   bool collect(bool blocking, Batch* out);
+  /// Releases the worker slot collect() claimed on the batch's model and
+  /// wakes a waiter (one may have skipped the model at quota).
+  void finish_batch(Entry& e);
   void do_reload(Entry& e, ModelBuilder builder, bool install_builder);
   void serve_batch(Entry& e, std::vector<Pending>& batch);
   void worker_loop();

@@ -71,6 +71,10 @@ struct ServerStats {
   std::uint64_t slo_grows = 0;
   std::int64_t eff_max_wait_us = 0;  ///< effective max-wait at snapshot time
   int eff_max_batch = 0;             ///< effective max-batch at snapshot time
+  /// Most workers ever serving this model's batches at once (ServingHost).
+  /// With a max_workers_per_model quota this is the fairness bound: it never
+  /// exceeds the quota, however hot the model runs.
+  int peak_workers = 0;
   double busy_seconds = 0;  ///< summed batch execution time (all workers)
   double wall_seconds = 0;
   std::size_t queue_depth = 0;      ///< at snapshot time

@@ -61,7 +61,11 @@ std::string PerfCounters::to_string() const {
          " comb=" + human_count(combine_ns) + "ns" +
          " comb_overlap=" + human_count(combine_overlap_ns) + "ns" +
          " stash=" + human_bytes(boundary_stash_bytes) +
-         " stash_saved=" + human_bytes(boundary_stash_saved_bytes);
+         " stash_saved=" + human_bytes(boundary_stash_saved_bytes) +
+         " tx_msgs=" + std::to_string(transport_msgs) +
+         " tx=" + human_bytes(transport_bytes) +
+         " push=" + human_bytes(param_push_bytes) +
+         " pull=" + human_bytes(param_pull_bytes);
 }
 
 }  // namespace triad

@@ -41,6 +41,14 @@ struct PerfCounters {
   std::uint64_t combine_overlap_ns = 0; ///< combine time hidden under still-walking shards
   std::uint64_t boundary_stash_bytes = 0;        ///< per-edge stash actually allocated
   std::uint64_t boundary_stash_saved_bytes = 0;  ///< stash elided via combine-time recompute
+  // Transport accounting (src/transport/): explicit messages carrying the
+  // cross-shard flows. transport_msgs/bytes cover every fabric (boundary
+  // exchange + param server); the push/pull pair isolates the parameter
+  // traffic a weight server on another host would actually move.
+  std::uint64_t transport_msgs = 0;      ///< messages sent over any fabric
+  std::uint64_t transport_bytes = 0;     ///< modeled wire bytes of those messages
+  std::uint64_t param_push_bytes = 0;    ///< gradient bytes pushed to the param server
+  std::uint64_t param_pull_bytes = 0;    ///< parameter bytes pulled back by workers
 
   std::uint64_t io_bytes() const { return dram_read_bytes + dram_write_bytes; }
   /// Totals over both passes — the pre-split counters every report keeps.
@@ -78,6 +86,10 @@ struct PerfCounters {
     r.boundary_stash_bytes = boundary_stash_bytes - o.boundary_stash_bytes;
     r.boundary_stash_saved_bytes =
         boundary_stash_saved_bytes - o.boundary_stash_saved_bytes;
+    r.transport_msgs = transport_msgs - o.transport_msgs;
+    r.transport_bytes = transport_bytes - o.transport_bytes;
+    r.param_push_bytes = param_push_bytes - o.param_push_bytes;
+    r.param_pull_bytes = param_pull_bytes - o.param_pull_bytes;
     return r;
   }
   PerfCounters& operator+=(const PerfCounters& o) {
@@ -102,6 +114,10 @@ struct PerfCounters {
     combine_overlap_ns += o.combine_overlap_ns;
     boundary_stash_bytes += o.boundary_stash_bytes;
     boundary_stash_saved_bytes += o.boundary_stash_saved_bytes;
+    transport_msgs += o.transport_msgs;
+    transport_bytes += o.transport_bytes;
+    param_push_bytes += o.param_push_bytes;
+    param_pull_bytes += o.param_pull_bytes;
     return *this;
   }
 

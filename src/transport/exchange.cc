@@ -1,0 +1,77 @@
+#include "transport/exchange.h"
+
+namespace triad::transport {
+
+ExchangePlan::ExchangePlan(const Graph& g, const Partitioning& part)
+    : k_(part.num_shards()),
+      cut_d2s_(static_cast<std::size_t>(k_) * static_cast<std::size_t>(k_), 0) {
+  const std::vector<std::int32_t>& src = g.edge_src();
+  const std::vector<std::int32_t>& dst = g.edge_dst();
+  const std::int64_t m = g.num_edges();
+  for (std::int64_t e = 0; e < m; ++e) {
+    const int os = part.owner_of(src[static_cast<std::size_t>(e)]);
+    const int od = part.owner_of(dst[static_cast<std::size_t>(e)]);
+    if (os != od)
+      ++cut_d2s_[static_cast<std::size_t>(od) * static_cast<std::size_t>(k_) +
+                 static_cast<std::size_t>(os)];
+  }
+}
+
+ShardTransport::ShardTransport(const Graph& g, const Partitioning& part)
+    : plan_(g, part),
+      // Worst case in flight per endpoint: one frontier message per neighbor
+      // plus the self full-walk message; push-mode delivery consumes inline,
+      // so capacity only matters if a hook is missing — size generously.
+      fabric_(part.num_shards(),
+              static_cast<std::size_t>(part.num_shards()) + 1) {}
+
+BoundaryExchange::BoundaryExchange(ShardTransport& st,
+                                   const PipelineSchedule& sched,
+                                   bool dst_major, std::size_t row_bytes)
+    : st_(st),
+      sched_(sched),
+      dst_major_(dst_major),
+      row_bytes_(row_bytes),
+      run_(sched) {}
+
+BoundaryExchange::~BoundaryExchange() { st_.fabric().clear_delivery(); }
+
+void BoundaryExchange::begin(std::function<void(int)> fire) {
+  run_.begin(std::move(fire));
+  LocalTransport& fabric = st_.fabric();
+  for (int t = 0; t < sched_.num_shards(); ++t) {
+    // Delivery runs inline on the sender's thread: the same thread, and the
+    // same acq_rel decrement, the direct counter path would have used.
+    fabric.set_delivery(t, [this](const TransportMessage& m) {
+      run_.signal(m.dst);
+    });
+  }
+}
+
+void BoundaryExchange::publish_frontier(int s) {
+  LocalTransport& fabric = st_.fabric();
+  for (const std::int32_t t : sched_.dependents(s)) {
+    TransportMessage m;
+    m.src = s;
+    m.dst = t;
+    m.tag = kFrontierTag;
+    // Payload: the stash rows of cut edges whose contribution crosses s -> t.
+    // In-process the stash is shared memory, so no pointer travels; bytes is
+    // the volume a socket transport would serialize.
+    m.bytes = static_cast<std::size_t>(st_.plan().cut(dst_major_, s, t)) *
+              row_bytes_;
+    fabric.channel(s, t).send(m);
+  }
+}
+
+void BoundaryExchange::publish_full(int s) {
+  TransportMessage m;
+  m.src = s;
+  m.dst = s;
+  m.tag = kFullTag;
+  st_.fabric().channel(s, s).send(m);
+}
+
+bool BoundaryExchange::all_done() const { return run_.all_done(); }
+
+}  // namespace triad::transport

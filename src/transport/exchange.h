@@ -1,0 +1,105 @@
+/// \file
+/// Boundary-stash exchange over a Transport fabric.
+///
+/// The pipelined sharded runner (engine/vm.cc + engine/pipeline.cc) signals
+/// combine readiness through atomic counters. This file re-expresses those
+/// signals as transport messages: an ExchangePlan precomputes, per ordered
+/// shard pair, how many cut-edge stash rows a frontier publish hands to each
+/// neighbor's combine; a ShardTransport owns the K-endpoint in-process
+/// fabric for one PlanRunner; and a BoundaryExchange adapts one program
+/// execution's publishes into channel sends whose inline delivery performs
+/// the identical counter decrement. Execution order, firing threads, and the
+/// combine fold are untouched — results stay bit-identical — but every
+/// cross-shard crossing is now an addressed, byte-counted message a socket
+/// transport could carry to another process.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "engine/pipeline.h"
+#include "graph/csr.h"
+#include "graph/partition.h"
+#include "transport/transport.h"
+
+namespace triad::transport {
+
+/// Per-ordered-shard-pair cut-edge counts, built in one O(|E|) sweep. The
+/// boundary flow direction depends on the walk orientation: a dst-major walk
+/// stashes contributions that the *src* owner's combine folds (and vice
+/// versa), so `cut(dst_major, from, to)` answers "how many stash rows does
+/// shard `from`'s publish hand to shard `to`'s combine".
+class ExchangePlan {
+ public:
+  ExchangePlan(const Graph& g, const Partitioning& part);
+
+  int num_shards() const { return k_; }
+
+  /// Cut edges whose contribution crosses from walker shard `from` to
+  /// combine-owner shard `to` under the given walk orientation.
+  std::int64_t cut(bool dst_major, int from, int to) const {
+    return dst_major ? cut_d2s_[static_cast<std::size_t>(from) *
+                                    static_cast<std::size_t>(k_) +
+                                static_cast<std::size_t>(to)]
+                     : cut_d2s_[static_cast<std::size_t>(to) *
+                                    static_cast<std::size_t>(k_) +
+                                static_cast<std::size_t>(from)];
+  }
+
+ private:
+  int k_;
+  /// [owner(dst) * K + owner(src)] -> cut-edge count (diagonal is zero).
+  std::vector<std::int64_t> cut_d2s_;
+};
+
+/// One PlanRunner's shard fabric: the exchange plan plus a K-endpoint
+/// LocalTransport, built once per installed partitioning and reused by every
+/// program execution. Counter deltas are snapshotted around each sharded run
+/// and charged into the thread-local PerfCounters by the caller.
+class ShardTransport {
+ public:
+  ShardTransport(const Graph& g, const Partitioning& part);
+
+  const ExchangePlan& plan() const { return plan_; }
+  LocalTransport& fabric() { return fabric_; }
+  TransportStats stats() const { return fabric_.stats(); }
+
+ private:
+  ExchangePlan plan_;
+  LocalTransport fabric_;
+};
+
+/// Adapts one pipelined program execution to the transport fabric. begin()
+/// arms the underlying PipelineRun counters and installs per-endpoint
+/// delivery hooks; each publish becomes one message per dependent shard
+/// (frontier publishes carry the modeled stash-row payload, the full-walk
+/// publish is a zero-byte self-send) whose inline delivery decrements the
+/// receiver's pending counter — the same acq_rel step, on the same thread,
+/// as the direct path, so combines fire at identical points.
+class BoundaryExchange final : public PipelinePublisher {
+ public:
+  /// `row_bytes` is the per-stash-row wire size of the executing program's
+  /// boundary outputs (sum of non-sequential output widths × sizeof(float)).
+  BoundaryExchange(ShardTransport& st, const PipelineSchedule& sched,
+                   bool dst_major, std::size_t row_bytes);
+  ~BoundaryExchange() override;
+
+  void begin(std::function<void(int)> fire) override;
+  void publish_frontier(int s) override;
+  void publish_full(int s) override;
+  bool all_done() const override;
+
+  /// Message tags, exposed for tests.
+  static constexpr std::uint32_t kFrontierTag = 1;
+  static constexpr std::uint32_t kFullTag = 2;
+
+ private:
+  ShardTransport& st_;
+  const PipelineSchedule& sched_;
+  bool dst_major_;
+  std::size_t row_bytes_;
+  PipelineRun run_;  ///< counter state; deliveries call run_.signal()
+};
+
+}  // namespace triad::transport
